@@ -1,0 +1,114 @@
+// Command clonegen profiles a workload and generates its synthetic
+// benchmark clone, emitting the C-with-asm source (the paper's
+// distribution format) plus the synthesis metadata.
+//
+// Usage:
+//
+//	clonegen -workload crc32 [-o clone.c] [-blocks N] [-iters N] [-seed N]
+//	         [-disasm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perfclone/internal/codegen"
+	"perfclone/internal/profile"
+	"perfclone/internal/synth"
+	"perfclone/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "", "workload to clone (see cmd/profiler -list)")
+	profIn := flag.String("profile-in", "", "generate from a saved profile JSON instead of a workload")
+	profOut := flag.String("profile-out", "", "also save the measured profile as JSON (the vendor-side artifact)")
+	out := flag.String("o", "", "write the generated C source to this file (default stdout)")
+	blocks := flag.Int("blocks", 0, "target basic-block count (default adaptive)")
+	iters := flag.Int("iters", 0, "outer-loop iterations (default matches profiled length)")
+	seed := flag.Uint64("seed", 1, "synthesis PRNG seed")
+	maxInsts := flag.Uint64("profile-insts", 1_000_000, "dynamic instructions to profile")
+	disasm := flag.Bool("disasm", false, "emit ISA disassembly instead of C")
+	dialect := flag.String("dialect", "generic", "asm dialect: generic, riscv, arm64")
+	flag.Parse()
+
+	if err := run(*name, *profIn, *profOut, *out, *dialect, *blocks, *iters, *seed, *maxInsts, *disasm); err != nil {
+		fmt.Fprintln(os.Stderr, "clonegen:", err)
+		os.Exit(1)
+	}
+}
+
+// loadOrCollect obtains the workload profile from a saved JSON file or by
+// profiling a named workload.
+func loadOrCollect(name, profIn string, maxInsts uint64) (*profile.Profile, error) {
+	if profIn != "" {
+		f, err := os.Open(profIn)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return profile.Load(f)
+	}
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return profile.Collect(w.Build(), profile.Options{MaxInsts: maxInsts})
+}
+
+func run(name, profIn, profOut, out, dialect string, blocks, iters int, seed, maxInsts uint64, disasm bool) error {
+	prof, err := loadOrCollect(name, profIn, maxInsts)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		name = prof.Name
+	}
+	if profOut != "" {
+		f, err := os.Create(profOut)
+		if err != nil {
+			return err
+		}
+		if err := prof.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	clone, err := synth.Generate(prof, synth.Config{
+		TargetBlocks: blocks,
+		Iterations:   iters,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "clone of %s: %d blocks, %d body insts, %d iterations, %d stream pools\n",
+		name, len(clone.Program.Blocks), clone.BodyInsts, clone.Iterations, len(clone.Pools))
+	for _, pool := range clone.Pools {
+		fmt.Fprintf(os.Stderr, "  pool %s: stride %d, advance %d, reset %d iters, %d members, %d bytes\n",
+			pool.Reg, pool.Stride, pool.Advance, pool.ResetIters, pool.Members, pool.RegionBytes)
+	}
+
+	var text string
+	if disasm {
+		// The DumpAsm form round-trips through prog.Parse, so the clone
+		// can be re-run with `simrun -file`.
+		text = clone.Program.DumpAsm()
+	} else {
+		text, err = codegen.EmitC(clone.Program, codegen.Options{
+			FuncName: name + "_clone",
+			Dialect:  codegen.Dialect(dialect),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if out == "" {
+		fmt.Print(text)
+		return nil
+	}
+	return os.WriteFile(out, []byte(text), 0o644)
+}

@@ -1,0 +1,132 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run all|fig3|fig4|fig5|fig6|fig7|table3|fig8|fig9|ablation]
+//	            [-workloads a,b,c] [-parallel] [-insts N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"perfclone/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run: all, fig3..fig9, table3, ablation, predsweep, l2sweep, prefetch, statsim, inputs, ext")
+	wl := flag.String("workloads", "", "comma-separated workload subset (default: all 23)")
+	parallel := flag.Bool("parallel", true, "run independent simulations concurrently")
+	insts := flag.Uint64("insts", 0, "timing-simulation instruction budget per run (default 500000)")
+	flag.Parse()
+
+	opts := experiments.Options{Parallel: *parallel, TimingInsts: *insts}
+	if *wl != "" {
+		opts.Workloads = strings.Split(*wl, ",")
+	}
+	if err := execute(*run, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func execute(run string, opts experiments.Options) error {
+	pairs, err := experiments.Prepare(opts)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	want := func(name string) bool { return run == "all" || run == name }
+
+	if want("fig3") {
+		experiments.PrintFig3(out, experiments.Fig3(pairs))
+		fmt.Fprintln(out)
+	}
+	var fig4 []experiments.Fig4Row
+	if want("fig4") || want("fig5") {
+		fig4, err = experiments.Fig4(pairs, opts)
+		if err != nil {
+			return err
+		}
+	}
+	if want("fig4") {
+		experiments.PrintFig4(out, fig4)
+		fmt.Fprintln(out)
+	}
+	if want("fig5") {
+		experiments.PrintFig5(out, experiments.Fig5(fig4))
+		fmt.Fprintln(out)
+	}
+	if want("fig6") || want("fig7") {
+		rows, err := experiments.Fig6and7(pairs, opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6and7(out, rows)
+		fmt.Fprintln(out)
+	}
+	if want("table3") || want("fig8") || want("fig9") {
+		rows, sums, err := experiments.Table3(pairs, opts)
+		if err != nil {
+			return err
+		}
+		if want("table3") {
+			experiments.PrintTable3(out, sums)
+			fmt.Fprintln(out)
+		}
+		if want("fig8") || want("fig9") || run == "all" {
+			experiments.PrintFig8and9(out, experiments.Fig8and9Rows(rows))
+			fmt.Fprintln(out)
+		}
+	}
+	if want("ablation") {
+		rows, err := experiments.Ablation(pairs, opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run == "predsweep" || run == "ext" {
+		rows, err := experiments.PredictorSweep(pairs, opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintPredictorSweep(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run == "l2sweep" || run == "ext" {
+		rows, err := experiments.L2Sweep(pairs, opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintL2Sweep(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run == "prefetch" || run == "ext" {
+		rows, err := experiments.PrefetchStudy(pairs, opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintPrefetchStudy(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run == "statsim" || run == "ext" {
+		rows, err := experiments.StatsimComparison(pairs, opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintStatsimComparison(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run == "inputs" || run == "ext" {
+		rows, err := experiments.InputSensitivity(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintInputSensitivity(out, rows)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command tracegen emits a synthetic memory address trace from a workload
+// profile (the trace-form output Section 3.1.4 mentions) — one reference
+// per line as "R <addr>" / "W <addr>" — or replays it against a cache.
+//
+// Usage:
+//
+//	tracegen -workload crc32 -n 100000 > trace.txt
+//	tracegen -workload crc32 -n 1000000 -replay 4KB
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"perfclone/internal/cache"
+	"perfclone/internal/profile"
+	"perfclone/internal/trace"
+	"perfclone/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "", "workload to profile")
+	profIn := flag.String("profile-in", "", "use a saved profile JSON instead")
+	n := flag.Int("n", 100_000, "number of references to generate")
+	replay := flag.String("replay", "", "instead of printing, replay against a cache of this size (e.g. 4KB)")
+	flag.Parse()
+
+	if err := run(*name, *profIn, *n, *replay); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSize(s string) (int, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func run(name, profIn string, n int, replay string) error {
+	var prof *profile.Profile
+	if profIn != "" {
+		f, err := os.Open(profIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		prof, err = profile.Load(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return err
+		}
+		prof, err = profile.Collect(w.Build(), profile.Options{MaxInsts: 1_000_000})
+		if err != nil {
+			return err
+		}
+	}
+
+	if replay != "" {
+		size, err := parseSize(replay)
+		if err != nil {
+			return err
+		}
+		cfg := cache.Config{Size: size, Assoc: 2, LineSize: 32}
+		st, err := trace.Replay(prof, cfg, n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s on %s: %d accesses, %.3f%% miss, %d writebacks\n",
+			prof.Name, cfg.String(), st.Accesses, 100*st.MissRate(), st.Writebacks)
+		return nil
+	}
+
+	g, err := trace.New(prof)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		dir := byte('R')
+		if r.Write {
+			dir = 'W'
+		}
+		fmt.Fprintf(w, "%c %d\n", dir, r.Addr)
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package perfclone reproduces "Performance Cloning: A Technique for
+// Disseminating Proprietary Applications as Benchmarks" (Joshi, Eeckhout,
+// Bell, John — IISWC 2006) as a complete Go system: workload kernels,
+// microarchitecture-independent profiling, synthetic benchmark generation,
+// cache/branch-predictor/pipeline simulators, a Wattch-style power model,
+// and a harness regenerating every table and figure of the paper's
+// evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmark file
+// bench_test.go regenerates each experiment as a Go benchmark with
+// fidelity metrics attached.
+package perfclone

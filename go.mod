@@ -1,0 +1,3 @@
+module perfclone
+
+go 1.22

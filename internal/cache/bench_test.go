@@ -1,0 +1,33 @@
+package cache
+
+import "testing"
+
+// BenchmarkAccess measures single-cache access throughput.
+func BenchmarkAccess(b *testing.B) {
+	c := MustNew(Config{Size: 16 << 10, Assoc: 2, LineSize: 32})
+	s := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		c.Access((s*0x2545f4914f6cdd1d)%(64<<10), i%4 == 0)
+	}
+}
+
+// BenchmarkReplaySet28 measures the cost of feeding one reference to all
+// 28 sweep configurations at once (the Figure 4 inner loop).
+func BenchmarkReplaySet28(b *testing.B) {
+	rs, err := NewReplaySet(Sweep28())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		rs.Access((s*0x2545f4914f6cdd1d)%(64<<10), i%4 == 0)
+	}
+}

@@ -1,0 +1,308 @@
+// Package cache implements the set-associative cache simulator used for
+// the paper's cache design studies (Section 5.1's 28 configurations) and
+// as the memory hierarchy of the timing simulator (internal/uarch).
+package cache
+
+import "fmt"
+
+// Policy selects the replacement policy.
+type Policy string
+
+// Replacement policies. The paper fixes LRU for its 28-configuration
+// sweep; FIFO and random exist for replacement studies.
+const (
+	PolicyLRU    Policy = "" // default
+	PolicyFIFO   Policy = "fifo"
+	PolicyRandom Policy = "random"
+)
+
+// Config describes one cache.
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+	// Size is the total capacity in bytes.
+	Size int
+	// Assoc is the set associativity; 0 means fully associative.
+	Assoc int
+	// LineSize is the block size in bytes (power of two).
+	LineSize int
+	// Replacement selects the victim policy (default LRU).
+	Replacement Policy
+}
+
+// Validate checks the configuration for structural errors.
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("cache: bad size/line %d/%d", c.Size, c.LineSize)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineSize)
+	}
+	if c.Size%c.LineSize != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.Size, c.LineSize)
+	}
+	lines := c.Size / c.LineSize
+	assoc := c.Assoc
+	if assoc == 0 {
+		assoc = lines
+	}
+	if assoc < 0 || lines%assoc != 0 {
+		return fmt.Errorf("cache: associativity %d incompatible with %d lines", c.Assoc, lines)
+	}
+	sets := lines / assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	switch c.Replacement {
+	case PolicyLRU, PolicyFIFO, PolicyRandom:
+	default:
+		return fmt.Errorf("cache: unknown replacement policy %q", c.Replacement)
+	}
+	return nil
+}
+
+// String renders the geometry, e.g. "4KB/2-way/32B".
+func (c Config) String() string {
+	assoc := "full"
+	if c.Assoc > 0 {
+		assoc = fmt.Sprintf("%d-way", c.Assoc)
+	}
+	return fmt.Sprintf("%s/%s/%dB", sizeStr(c.Size), assoc, c.LineSize)
+}
+
+func sizeStr(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Stats accumulates access counts.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate is Misses/Accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is one level of set-associative cache with true-LRU replacement
+// (the policy the paper fixes for all 28 configurations).
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	clock     uint64
+	rng       uint64 // random-policy state
+	stats     Stats
+}
+
+// New builds a cache; the configuration must validate.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.Size / cfg.LineSize
+	assoc := cfg.Assoc
+	if assoc == 0 {
+		assoc = lines
+	}
+	nsets := lines / assoc
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([][]line, nsets),
+		setMask:   uint64(nsets - 1),
+		lineShift: log2(uint64(cfg.LineSize)),
+		rng:       0x9e3779b97f4a7c15,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, assoc)
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on invalid configurations (for statically
+// known-good tables).
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters but keeps the cache contents — used at
+// the end of a measurement warmup phase.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			c.sets[si][wi] = line{}
+		}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// Access simulates one access. It returns true on hit. A miss allocates
+// the line (write-allocate); dirty evictions count as writebacks.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	c.stats.Accesses++
+	tag := addr >> c.lineShift
+	set := c.sets[tag&c.setMask]
+	for wi := range set {
+		if set[wi].valid && set[wi].tag == tag {
+			if c.cfg.Replacement != PolicyFIFO {
+				set[wi].lru = c.clock // FIFO ignores recency on hits
+			}
+			if write {
+				set[wi].dirty = true
+			}
+			return true
+		}
+	}
+	c.stats.Misses++
+	victim := c.victim(set)
+	if set[victim].valid && set[victim].dirty {
+		c.stats.Writebacks++
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return false
+}
+
+// victim picks the way to replace: an invalid way if any, else per the
+// configured policy.
+func (c *Cache) victim(set []line) int {
+	for wi := range set {
+		if !set[wi].valid {
+			return wi
+		}
+	}
+	if c.cfg.Replacement == PolicyRandom {
+		c.rng ^= c.rng >> 12
+		c.rng ^= c.rng << 25
+		c.rng ^= c.rng >> 27
+		return int((c.rng * 0x2545f4914f6cdd1d) % uint64(len(set)))
+	}
+	// LRU, and FIFO (whose lru field is the insertion time).
+	victim := 0
+	for wi := range set {
+		if set[wi].lru < set[victim].lru {
+			victim = wi
+		}
+	}
+	return victim
+}
+
+// Prefetch inserts addr's line without touching the demand statistics
+// (used by the timing simulator's sequential prefetcher). It returns true
+// when the line was already resident.
+func (c *Cache) Prefetch(addr uint64) bool {
+	c.clock++
+	tag := addr >> c.lineShift
+	set := c.sets[tag&c.setMask]
+	for wi := range set {
+		if set[wi].valid && set[wi].tag == tag {
+			if c.cfg.Replacement != PolicyFIFO {
+				set[wi].lru = c.clock
+			}
+			return true
+		}
+	}
+	victim := c.victim(set)
+	if set[victim].valid && set[victim].dirty {
+		c.stats.Writebacks++
+	}
+	set[victim] = line{tag: tag, valid: true, lru: c.clock}
+	return false
+}
+
+// Sweep28 returns the paper's 28 L1 data cache configurations: sizes 256 B
+// through 16 KB in powers of two, each direct-mapped, 2-way, 4-way, and
+// fully associative, with 32-byte lines and LRU (Section 5.1).
+func Sweep28() []Config {
+	var out []Config
+	for size := 256; size <= 16*1024; size *= 2 {
+		for _, assoc := range []int{1, 2, 4, 0} {
+			cfg := Config{Size: size, Assoc: assoc, LineSize: 32}
+			cfg.Name = cfg.String()
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// ReplaySet simulates one address stream against many configurations at
+// once — the workhorse of the Figure 4/5 experiments, which need 28 cache
+// simulations per program.
+type ReplaySet struct {
+	caches []*Cache
+}
+
+// NewReplaySet builds caches for every configuration.
+func NewReplaySet(cfgs []Config) (*ReplaySet, error) {
+	rs := &ReplaySet{}
+	for _, cfg := range cfgs {
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rs.caches = append(rs.caches, c)
+	}
+	return rs, nil
+}
+
+// Access feeds one reference to every cache.
+func (rs *ReplaySet) Access(addr uint64, write bool) {
+	for _, c := range rs.caches {
+		c.Access(addr, write)
+	}
+}
+
+// Stats returns per-configuration statistics, in input order.
+func (rs *ReplaySet) Stats() []Stats {
+	out := make([]Stats, len(rs.caches))
+	for i, c := range rs.caches {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// Caches exposes the underlying caches (read-only use).
+func (rs *ReplaySet) Caches() []*Cache { return rs.caches }

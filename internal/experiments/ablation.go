@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"perfclone/internal/baseline"
+	"perfclone/internal/bpred"
+	"perfclone/internal/cache"
+	"perfclone/internal/funcsim"
+	"perfclone/internal/prog"
+	"perfclone/internal/stats"
+	"perfclone/internal/synth"
+)
+
+// AblationRow compares the microarchitecture-independent clone against
+// the microarchitecture-dependent baseline clone for one workload.
+type AblationRow struct {
+	Workload string
+	// Cache-tracking correlation across the 28 configurations
+	// (Figure 4's metric) for each clone.
+	CloneR    float64
+	BaselineR float64
+	// Misprediction-rate tracking across predictors: mean absolute
+	// error vs the real program.
+	CloneMispredMAE    float64
+	BaselineMispredMAE float64
+	// At the training point both clones should match; this shows the
+	// baseline is not simply broken.
+	TrainMissReal     float64
+	TrainMissBaseline float64
+}
+
+// ablationPredictors are the predictor sweep of the ablation.
+var ablationPredictors = []string{"gap", "bimodal", "gshare", "not-taken", "taken"}
+
+// mispredUnder replays a program against one predictor.
+func mispredUnder(p *prog.Program, predName string, maxInsts uint64) (float64, error) {
+	pred, err := bpred.ByName(predName)
+	if err != nil {
+		return 0, err
+	}
+	var look, miss uint64
+	obs := func(ev *funcsim.Event) error {
+		if ev.Inst.Op.IsBranch() {
+			look++
+			if pred.Predict(ev.PC) != ev.Taken {
+				miss++
+			}
+			pred.Update(ev.PC, ev.Taken)
+		}
+		return nil
+	}
+	if _, err := funcsim.RunProgram(p, funcsim.Limits{MaxInsts: maxInsts}, obs); err != nil {
+		return 0, err
+	}
+	if look == 0 {
+		return 0, nil
+	}
+	return float64(miss) / float64(look), nil
+}
+
+// Ablation runs the baseline-vs-clone comparison for each pair. The
+// baseline clone is trained on the base configuration's L1D and
+// predictor; both clones are then swept across the 28 cache
+// configurations and the predictor set.
+func Ablation(pairs []*Pair, opts Options) ([]AblationRow, error) {
+	opts = opts.withDefaults()
+	train := baseline.TrainingConfig{
+		Cache:     cache.Config{Size: 16 << 10, Assoc: 2, LineSize: 32},
+		Predictor: "gap",
+		MaxInsts:  opts.TimingInsts,
+	}
+	cfgs := cache.Sweep28()
+	rows := make([]AblationRow, len(pairs))
+	err := forEach(opts, len(pairs), func(i int) error {
+		pr := pairs[i]
+		bl, targets, err := baseline.Generate(pr.Real, pr.Profile, train, synth.Config{})
+		if err != nil {
+			return err
+		}
+		realMPI, err := CacheMPI(pr.Real, cfgs, opts.TimingInsts*2)
+		if err != nil {
+			return err
+		}
+		cloneMPI, err := CacheMPI(pr.Clone.Program, cfgs, opts.TimingInsts*2)
+		if err != nil {
+			return err
+		}
+		blMPI, err := CacheMPI(bl.Program, cfgs, opts.TimingInsts*2)
+		if err != nil {
+			return err
+		}
+		rel := func(v []float64) []float64 {
+			out := make([]float64, len(v)-1)
+			for k := 1; k < len(v); k++ {
+				out[k-1] = v[k] - v[0]
+			}
+			return out
+		}
+		// Zero variance (a clone whose miss behaviour does not change
+		// across configurations at all) counts as zero correlation —
+		// that *is* the failure mode being measured.
+		cloneR, err := stats.Pearson(rel(cloneMPI), rel(realMPI))
+		if err != nil {
+			cloneR = 0
+		}
+		blR, err := stats.Pearson(rel(blMPI), rel(realMPI))
+		if err != nil {
+			blR = 0
+		}
+
+		var cloneMAE, blMAE float64
+		for _, pn := range ablationPredictors {
+			realM, err := mispredUnder(pr.Real, pn, opts.TimingInsts)
+			if err != nil {
+				return err
+			}
+			cloneM, err := mispredUnder(pr.Clone.Program, pn, opts.TimingInsts)
+			if err != nil {
+				return err
+			}
+			blM, err := mispredUnder(bl.Program, pn, opts.TimingInsts)
+			if err != nil {
+				return err
+			}
+			cloneMAE += absF(cloneM - realM)
+			blMAE += absF(blM - realM)
+		}
+		n := float64(len(ablationPredictors))
+
+		blTrainMiss, err := cloneMissRateOn(bl.Program, train.Cache, opts.TimingInsts)
+		if err != nil {
+			return err
+		}
+		rows[i] = AblationRow{
+			Workload:           pr.Name,
+			CloneR:             cloneR,
+			BaselineR:          blR,
+			CloneMispredMAE:    cloneMAE / n,
+			BaselineMispredMAE: blMAE / n,
+			TrainMissReal:      targets.MissRate,
+			TrainMissBaseline:  blTrainMiss,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// cloneMissRateOn replays a program's data stream on one cache config.
+func cloneMissRateOn(p *prog.Program, cfg cache.Config, maxInsts uint64) (float64, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	obs := func(ev *funcsim.Event) error {
+		if ev.Inst.Op.IsMem() {
+			c.Access(ev.Addr, ev.Inst.Op.IsStore())
+		}
+		return nil
+	}
+	if _, err := funcsim.RunProgram(p, funcsim.Limits{MaxInsts: maxInsts}, obs); err != nil {
+		return 0, err
+	}
+	return c.Stats().MissRate(), nil
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,454 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5): Figure 3 (stride coverage), Figures 4 and 5
+// (28-configuration cache study), Table 2 (base configuration), Figures 6
+// and 7 (base-configuration IPC and power), Table 3 and Figures 8 and 9
+// (five design changes), plus the microarchitecture-dependent-baseline
+// ablation that motivates the whole technique.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"perfclone/internal/cache"
+	"perfclone/internal/funcsim"
+	"perfclone/internal/power"
+	"perfclone/internal/profile"
+	"perfclone/internal/prog"
+	"perfclone/internal/stats"
+	"perfclone/internal/synth"
+	"perfclone/internal/uarch"
+	"perfclone/internal/workloads"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Workloads restricts the benchmark set (nil = all 23).
+	Workloads []string
+	// ProfileInsts bounds profiling (0 = default 1M).
+	ProfileInsts uint64
+	// TimingWarmup and TimingInsts bound each timing-simulator run
+	// (defaults 150k warmup, 500k total).
+	TimingWarmup uint64
+	TimingInsts  uint64
+	// Parallel runs independent simulations on multiple goroutines
+	// (default: serial when false).
+	Parallel bool
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Workloads) == 0 {
+		o.Workloads = workloads.Names()
+	}
+	if o.ProfileInsts == 0 {
+		o.ProfileInsts = 1_000_000
+	}
+	if o.TimingWarmup == 0 {
+		o.TimingWarmup = 150_000
+	}
+	if o.TimingInsts == 0 {
+		o.TimingInsts = 500_000
+	}
+	return o
+}
+
+// Pair is one workload with its profile and synthetic clone.
+type Pair struct {
+	Name    string
+	Real    *prog.Program
+	Profile *profile.Profile
+	Clone   *synth.Clone
+}
+
+// Prepare profiles each selected workload and generates its clone.
+func Prepare(opts Options) ([]*Pair, error) {
+	opts = opts.withDefaults()
+	pairs := make([]*Pair, len(opts.Workloads))
+	err := forEach(opts, len(opts.Workloads), func(i int) error {
+		name := opts.Workloads[i]
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return err
+		}
+		p := w.Build()
+		prof, err := profile.Collect(p, profile.Options{MaxInsts: opts.ProfileInsts})
+		if err != nil {
+			return fmt.Errorf("profile %s: %w", name, err)
+		}
+		clone, err := synth.Generate(prof, synth.Config{})
+		if err != nil {
+			return fmt.Errorf("clone %s: %w", name, err)
+		}
+		pairs[i] = &Pair{Name: name, Real: p, Profile: prof, Clone: clone}
+		return nil
+	})
+	return pairs, err
+}
+
+// forEach runs fn over [0,n), optionally in parallel.
+func forEach(opts Options, n int, fn func(i int) error) error {
+	if !opts.Parallel {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	sem := make(chan struct{}, 8)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// --- Figure 3 ---
+
+// Fig3Row is one bar of Figure 3.
+type Fig3Row struct {
+	Workload string
+	// Coverage is the fraction of dynamic memory references following
+	// their static instruction's single dominant stride.
+	Coverage float64
+	// UniqueStreams counts distinct stream sources (Section 5.1 relates
+	// clone accuracy to this).
+	UniqueStreams int
+}
+
+// Fig3 reproduces Figure 3.
+func Fig3(pairs []*Pair) []Fig3Row {
+	out := make([]Fig3Row, 0, len(pairs))
+	for _, pr := range pairs {
+		out = append(out, Fig3Row{
+			Workload:      pr.Name,
+			Coverage:      pr.Profile.StrideCoverage(),
+			UniqueStreams: pr.Profile.UniqueStreams(),
+		})
+	}
+	return out
+}
+
+// --- Figures 4 and 5 ---
+
+// Fig4Row is one workload's cache-tracking result.
+type Fig4Row struct {
+	Workload string
+	// R is Pearson's correlation between real and clone
+	// misses-per-instruction across the 27 non-reference configurations,
+	// relative to the 256 B direct-mapped reference (Section 5.1).
+	R float64
+	// RealMPI and CloneMPI are misses-per-instruction for all 28
+	// configurations, in cache.Sweep28 order.
+	RealMPI  []float64
+	CloneMPI []float64
+}
+
+// CacheMPI measures misses-per-instruction for every configuration in
+// cfgs by replaying the program's data reference stream once.
+func CacheMPI(p *prog.Program, cfgs []cache.Config, maxInsts uint64) ([]float64, error) {
+	rs, err := cache.NewReplaySet(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var insts uint64
+	obs := func(ev *funcsim.Event) error {
+		insts++
+		if ev.Inst.Op.IsMem() {
+			rs.Access(ev.Addr, ev.Inst.Op.IsStore())
+		}
+		return nil
+	}
+	if _, err := funcsim.RunProgram(p, funcsim.Limits{MaxInsts: maxInsts}, obs); err != nil {
+		return nil, err
+	}
+	mpi := make([]float64, len(cfgs))
+	for i, st := range rs.Stats() {
+		mpi[i] = float64(st.Misses) / float64(insts)
+	}
+	return mpi, nil
+}
+
+// Fig4 reproduces Figure 4: per-workload Pearson correlation of real vs
+// clone misses-per-instruction deltas across the 28 cache configurations.
+func Fig4(pairs []*Pair, opts Options) ([]Fig4Row, error) {
+	opts = opts.withDefaults()
+	cfgs := cache.Sweep28()
+	rows := make([]Fig4Row, len(pairs))
+	err := forEach(opts, len(pairs), func(i int) error {
+		pr := pairs[i]
+		real, err := CacheMPI(pr.Real, cfgs, opts.TimingInsts*2)
+		if err != nil {
+			return err
+		}
+		clone, err := CacheMPI(pr.Clone.Program, cfgs, opts.TimingInsts*2)
+		if err != nil {
+			return err
+		}
+		// Relative to the 256 B direct-mapped reference config (index 0).
+		relR := make([]float64, 0, len(cfgs)-1)
+		relC := make([]float64, 0, len(cfgs)-1)
+		for k := 1; k < len(cfgs); k++ {
+			relR = append(relR, real[k]-real[0])
+			relC = append(relC, clone[k]-clone[0])
+		}
+		r, err := stats.Pearson(relC, relR)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pr.Name, err)
+		}
+		rows[i] = Fig4Row{Workload: pr.Name, R: r, RealMPI: real, CloneMPI: clone}
+		return nil
+	})
+	return rows, err
+}
+
+// Fig5Point is one cache configuration's average rank pair (Figure 5).
+type Fig5Point struct {
+	Config    string
+	RealRank  float64
+	CloneRank float64
+}
+
+// Fig5 reproduces Figure 5 from Fig4's per-workload MPI matrices: each
+// configuration's rank (1 = fewest misses), averaged over workloads.
+func Fig5(rows []Fig4Row) []Fig5Point {
+	cfgs := cache.Sweep28()
+	n := len(cfgs)
+	sumR := make([]float64, n)
+	sumC := make([]float64, n)
+	for _, row := range rows {
+		rr := stats.Rank(row.RealMPI)
+		rc := stats.Rank(row.CloneMPI)
+		for k := 0; k < n; k++ {
+			sumR[k] += rr[k]
+			sumC[k] += rc[k]
+		}
+	}
+	out := make([]Fig5Point, n)
+	for k := 0; k < n; k++ {
+		out[k] = Fig5Point{
+			Config:    cfgs[k].Name,
+			RealRank:  sumR[k] / float64(len(rows)),
+			CloneRank: sumC[k] / float64(len(rows)),
+		}
+	}
+	return out
+}
+
+// --- Figures 6 and 7 ---
+
+// BaseRow is one workload's base-configuration comparison.
+type BaseRow struct {
+	Workload   string
+	RealIPC    float64
+	CloneIPC   float64
+	IPCErr     float64 // |clone-real|/real
+	RealPower  float64
+	ClonePower float64
+	PowerErr   float64
+}
+
+// Fig6and7 reproduces Figures 6 and 7: absolute IPC and power of real
+// benchmark vs clone on the Table 2 base configuration.
+func Fig6and7(pairs []*Pair, opts Options) ([]BaseRow, error) {
+	opts = opts.withDefaults()
+	base := uarch.BaseConfig()
+	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
+	rows := make([]BaseRow, len(pairs))
+	err := forEach(opts, len(pairs), func(i int) error {
+		pr := pairs[i]
+		str, err := uarch.RunLimits(pr.Real, base, lim)
+		if err != nil {
+			return err
+		}
+		sts, err := uarch.RunLimits(pr.Clone.Program, base, lim)
+		if err != nil {
+			return err
+		}
+		realPow := power.Estimate(str).AvgPower
+		clonePow := power.Estimate(sts).AvgPower
+		ipcErr, err := stats.AbsRelError(sts.IPC(), str.IPC())
+		if err != nil {
+			return err
+		}
+		powErr, err := stats.AbsRelError(clonePow, realPow)
+		if err != nil {
+			return err
+		}
+		rows[i] = BaseRow{
+			Workload:  pr.Name,
+			RealIPC:   str.IPC(),
+			CloneIPC:  sts.IPC(),
+			IPCErr:    ipcErr,
+			RealPower: realPow, ClonePower: clonePow, PowerErr: powErr,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// --- Table 3, Figures 8 and 9 ---
+
+// DesignRow is one (workload, design change) measurement.
+type DesignRow struct {
+	Workload string
+	Change   string
+	// Metrics at the base and changed configuration.
+	RealBaseIPC, RealIPC   float64
+	CloneBaseIPC, CloneIPC float64
+	RealBasePow, RealPow   float64
+	CloneBasePow, ClonePow float64
+	// RelErrIPC and RelErrPow are the paper's RE_X.
+	RelErrIPC float64
+	RelErrPow float64
+}
+
+// Table3Summary is one Table 3 row: a design change's relative errors
+// averaged over workloads.
+type Table3Summary struct {
+	Change        string
+	AvgRelErrIPC  float64
+	AvgRelErrPow  float64
+	WorstRelErr   float64
+	RealSpeedup   float64 // mean real IPC ratio vs base (context)
+	CloneSpeedup  float64
+	RealPowRatio  float64
+	ClonePowRatio float64
+}
+
+// Table3 reproduces Table 3 (and provides the Figures 8/9 series via the
+// returned per-workload rows for the "double width" change).
+func Table3(pairs []*Pair, opts Options) ([]DesignRow, []Table3Summary, error) {
+	opts = opts.withDefaults()
+	base := uarch.BaseConfig()
+	changes := uarch.DesignChanges()
+	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
+
+	type baseline struct {
+		realIPC, cloneIPC float64
+		realPow, clonePow float64
+	}
+	bases := make([]baseline, len(pairs))
+	if err := forEach(opts, len(pairs), func(i int) error {
+		pr := pairs[i]
+		str, err := uarch.RunLimits(pr.Real, base, lim)
+		if err != nil {
+			return err
+		}
+		sts, err := uarch.RunLimits(pr.Clone.Program, base, lim)
+		if err != nil {
+			return err
+		}
+		bases[i] = baseline{
+			realIPC: str.IPC(), cloneIPC: sts.IPC(),
+			realPow: power.Estimate(str).AvgPower, clonePow: power.Estimate(sts).AvgPower,
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	var rows []DesignRow
+	work := make([][]DesignRow, len(changes))
+	for ci, ch := range changes {
+		cfg := ch.Apply(base)
+		perWorkload := make([]DesignRow, len(pairs))
+		if err := forEach(opts, len(pairs), func(i int) error {
+			pr := pairs[i]
+			str, err := uarch.RunLimits(pr.Real, cfg, lim)
+			if err != nil {
+				return err
+			}
+			sts, err := uarch.RunLimits(pr.Clone.Program, cfg, lim)
+			if err != nil {
+				return err
+			}
+			realPow := power.Estimate(str).AvgPower
+			clonePow := power.Estimate(sts).AvgPower
+			b := bases[i]
+			reIPC, err := stats.RelativeError(b.realIPC, str.IPC(), b.cloneIPC, sts.IPC())
+			if err != nil {
+				return err
+			}
+			rePow, err := stats.RelativeError(b.realPow, realPow, b.clonePow, clonePow)
+			if err != nil {
+				return err
+			}
+			perWorkload[i] = DesignRow{
+				Workload:     pr.Name,
+				Change:       ch.Name,
+				RealBaseIPC:  b.realIPC,
+				RealIPC:      str.IPC(),
+				CloneBaseIPC: b.cloneIPC,
+				CloneIPC:     sts.IPC(),
+				RealBasePow:  b.realPow,
+				RealPow:      realPow,
+				CloneBasePow: b.clonePow,
+				ClonePow:     clonePow,
+				RelErrIPC:    reIPC,
+				RelErrPow:    rePow,
+			}
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+		work[ci] = perWorkload
+	}
+
+	var summaries []Table3Summary
+	for ci, ch := range changes {
+		var sIPC, sPow, worst float64
+		var rs, cs, rp, cp float64
+		for _, r := range work[ci] {
+			sIPC += r.RelErrIPC
+			sPow += r.RelErrPow
+			if r.RelErrIPC > worst {
+				worst = r.RelErrIPC
+			}
+			rs += r.RealIPC / r.RealBaseIPC
+			cs += r.CloneIPC / r.CloneBaseIPC
+			rp += r.RealPow / r.RealBasePow
+			cp += r.ClonePow / r.CloneBasePow
+		}
+		n := float64(len(work[ci]))
+		summaries = append(summaries, Table3Summary{
+			Change:        ch.Name,
+			AvgRelErrIPC:  sIPC / n,
+			AvgRelErrPow:  sPow / n,
+			WorstRelErr:   worst,
+			RealSpeedup:   rs / n,
+			CloneSpeedup:  cs / n,
+			RealPowRatio:  rp / n,
+			ClonePowRatio: cp / n,
+		})
+		rows = append(rows, work[ci]...)
+	}
+	return rows, summaries, nil
+}
+
+// Fig8and9Rows extracts the Figures 8/9 series (per-workload IPC speedup
+// and power increase for the double-width change) from Table 3 rows.
+func Fig8and9Rows(rows []DesignRow) []DesignRow {
+	var out []DesignRow
+	for _, r := range rows {
+		if r.Change == "double width" {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
+	return out
+}

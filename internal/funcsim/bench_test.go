@@ -1,0 +1,55 @@
+package funcsim_test
+
+import (
+	"testing"
+
+	"perfclone/internal/funcsim"
+	"perfclone/internal/workloads"
+)
+
+// BenchmarkFunctionalSimulation measures simulated instructions per
+// second on a representative kernel, with and without an observer.
+func BenchmarkFunctionalSimulation(b *testing.B) {
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.Build()
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := funcsim.RunProgram(p, funcsim.Limits{}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Insts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkFunctionalSimulationWithObserver adds the profiling-style
+// per-instruction callback.
+func BenchmarkFunctionalSimulationWithObserver(b *testing.B) {
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := w.Build()
+	var memRefs uint64
+	obs := func(ev *funcsim.Event) error {
+		if ev.Inst.Op.IsMem() {
+			memRefs++
+		}
+		return nil
+	}
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := funcsim.RunProgram(p, funcsim.Limits{}, obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Insts
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}

@@ -1,0 +1,411 @@
+package funcsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"perfclone/internal/isa"
+	"perfclone/internal/prog"
+)
+
+// buildAndRun assembles a program via fn and runs it to completion.
+func buildAndRun(t *testing.T, fn func(b *prog.Builder)) *Machine {
+	t.Helper()
+	b := prog.NewBuilder("t")
+	fn(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(Limits{MaxInsts: 100000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	return m
+}
+
+func r(i int) isa.Reg { return isa.IntReg(i) }
+func f(i int) isa.Reg { return isa.FPReg(i) }
+
+func TestIntArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		op   func(b *prog.Builder)
+		want int64
+	}{
+		{"add", func(b *prog.Builder) { b.Add(r(3), r(1), r(2)) }, 7 + -3},
+		{"sub", func(b *prog.Builder) { b.Sub(r(3), r(1), r(2)) }, 7 - -3},
+		{"and", func(b *prog.Builder) { b.And(r(3), r(1), r(2)) }, 7 & -3},
+		{"or", func(b *prog.Builder) { b.Or(r(3), r(1), r(2)) }, 7 | -3},
+		{"xor", func(b *prog.Builder) { b.Xor(r(3), r(1), r(2)) }, 7 ^ -3},
+		{"mul", func(b *prog.Builder) { b.Mul(r(3), r(1), r(2)) }, -21},
+		{"div", func(b *prog.Builder) { b.Div(r(3), r(1), r(2)) }, 7 / -3},
+		{"rem", func(b *prog.Builder) { b.Rem(r(3), r(1), r(2)) }, 7 % -3},
+		{"slt", func(b *prog.Builder) { b.Slt(r(3), r(1), r(2)) }, 0},   // 7 < -3 false
+		{"sltu", func(b *prog.Builder) { b.Sltu(r(3), r(1), r(2)) }, 1}, // 7 < uint(-3) true
+		{"addi", func(b *prog.Builder) { b.Addi(r(3), r(1), 100) }, 107},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := buildAndRun(t, func(b *prog.Builder) {
+				b.Label("e")
+				b.Li(r(1), 7)
+				b.Li(r(2), -3)
+				c.op(b)
+				b.Halt()
+			})
+			if got := m.IntReg(3); got != c.want {
+				t.Fatalf("got %d want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestShifts(t *testing.T) {
+	m := buildAndRun(t, func(b *prog.Builder) {
+		b.Label("e")
+		b.Li(r(1), -16)
+		b.Li(r(2), 2)
+		b.Shl(r(3), r(1), r(2)) // -64
+		b.Shr(r(4), r(1), r(2)) // logical
+		b.Sar(r(5), r(1), r(2)) // arithmetic: -4
+		b.Halt()
+	})
+	if got := m.IntReg(3); got != -64 {
+		t.Errorf("shl: %d", got)
+	}
+	if got := m.IntReg(4); got != int64(uint64(0xFFFFFFFFFFFFFFF0)>>2) {
+		t.Errorf("shr: %d", got)
+	}
+	if got := m.IntReg(5); got != -4 {
+		t.Errorf("sar: %d", got)
+	}
+}
+
+func TestDivideByZeroIsDefined(t *testing.T) {
+	m := buildAndRun(t, func(b *prog.Builder) {
+		b.Label("e")
+		b.Li(r(1), 42)
+		b.Div(r(3), r(1), isa.RZero)
+		b.Rem(r(4), r(1), isa.RZero)
+		b.Halt()
+	})
+	if m.IntReg(3) != 0 || m.IntReg(4) != 0 {
+		t.Fatalf("div/rem by zero: %d %d, want 0 0", m.IntReg(3), m.IntReg(4))
+	}
+}
+
+func TestZeroRegisterIsHardwired(t *testing.T) {
+	m := buildAndRun(t, func(b *prog.Builder) {
+		b.Label("e")
+		b.Li(isa.RZero, 99) // write discarded
+		b.Addi(r(1), isa.RZero, 5)
+		b.Halt()
+	})
+	if m.IntReg(0) != 0 {
+		t.Fatal("r0 was written")
+	}
+	if m.IntReg(1) != 5 {
+		t.Fatal("r0 did not read as zero")
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := buildAndRun(t, func(b *prog.Builder) {
+		b.Label("e")
+		b.Li(r(1), 7)
+		b.Li(r(2), 2)
+		b.CvtIF(f(0), r(1))
+		b.CvtIF(f(1), r(2))
+		b.FAdd(f(2), f(0), f(1))   // 9
+		b.FSub(f(3), f(0), f(1))   // 5
+		b.FMul(f(4), f(0), f(1))   // 14
+		b.FDiv(f(5), f(0), f(1))   // 3.5
+		b.FNeg(f(6), f(5))         // -3.5
+		b.FCmpLt(r(3), f(1), f(0)) // 2 < 7 → 1
+		b.CvtFI(r(4), f(5))        // 3
+		b.Halt()
+	})
+	for i, want := range map[int]float64{2: 9, 3: 5, 4: 14, 5: 3.5, 6: -3.5} {
+		if got := m.FPReg(i); got != want {
+			t.Errorf("f%d = %v want %v", i, got, want)
+		}
+	}
+	if m.IntReg(3) != 1 {
+		t.Error("fcmp")
+	}
+	if m.IntReg(4) != 3 {
+		t.Error("cvtfi truncation")
+	}
+}
+
+func TestCvtFIHandlesNaNAndInf(t *testing.T) {
+	m := buildAndRun(t, func(b *prog.Builder) {
+		b.Label("e")
+		// 0/0 → NaN; 1/0 → +Inf.
+		b.Li(r(1), 1)
+		b.CvtIF(f(0), isa.RZero)
+		b.CvtIF(f(1), r(1))
+		b.FDiv(f(2), f(0), f(0)) // NaN
+		b.FDiv(f(3), f(1), f(0)) // Inf
+		b.CvtFI(r(2), f(2))
+		b.CvtFI(r(3), f(3))
+		b.Halt()
+	})
+	if !math.IsNaN(m.FPReg(2)) || !math.IsInf(m.FPReg(3), 1) {
+		t.Fatal("FP special values not produced")
+	}
+	if m.IntReg(2) != 0 || m.IntReg(3) != 0 {
+		t.Fatal("CvtFI of NaN/Inf must be 0 (defined behaviour)")
+	}
+}
+
+func TestMemoryWidths(t *testing.T) {
+	m := buildAndRun(t, func(b *prog.Builder) {
+		base := b.Zeros("buf", 64)
+		b.Label("e")
+		b.Li(r(1), int64(base))
+		b.Li(r(2), -1) // 0xFF..FF
+		b.St(r(2), r(1), 0)
+		b.St4(r(2), r(1), 16)
+		b.St1(r(2), r(1), 32)
+		b.Ld(r(3), r(1), 0)   // -1
+		b.Ld4(r(4), r(1), 16) // sign-extended -1
+		b.Ld1(r(5), r(1), 32) // zero-extended 255
+		b.Ld(r(6), r(1), 17)  // bytes 17..24: 0xFF FF FF 00 ... = 0xFFFFFF
+		b.Halt()
+	})
+	if m.IntReg(3) != -1 {
+		t.Errorf("ld: %d", m.IntReg(3))
+	}
+	if m.IntReg(4) != -1 {
+		t.Errorf("ld4 sign extension: %d", m.IntReg(4))
+	}
+	if m.IntReg(5) != 255 {
+		t.Errorf("ld1 zero extension: %d", m.IntReg(5))
+	}
+	if m.IntReg(6) != 0xFFFFFF {
+		t.Errorf("unaligned ld: %#x", m.IntReg(6))
+	}
+}
+
+func TestFloatMemoryRoundTrip(t *testing.T) {
+	m := buildAndRun(t, func(b *prog.Builder) {
+		base := b.Floats("buf", []float64{2.75})
+		b.Label("e")
+		b.Li(r(1), int64(base))
+		b.FLd(f(0), r(1), 0)
+		b.FMul(f(1), f(0), f(0))
+		b.FSt(f(1), r(1), 8)
+		b.FLd(f(2), r(1), 8)
+		b.Halt()
+	})
+	if got := m.FPReg(2); got != 2.75*2.75 {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestMemoryOutOfBounds(t *testing.T) {
+	b := prog.NewBuilder("oob")
+	b.Zeros("buf", 8)
+	b.Label("e")
+	b.Li(r(1), 1<<40)
+	b.Ld(r(2), r(1), 0)
+	b.Halt()
+	p := b.MustBuild()
+	_, err := RunProgram(p, Limits{}, nil)
+	if err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestBranchDirections(t *testing.T) {
+	cases := []struct {
+		name  string
+		setup func(b *prog.Builder) // emits the branch to "taken"
+		taken bool
+	}{
+		{"beq taken", func(b *prog.Builder) { b.Beq(r(1), r(1), "taken") }, true},
+		{"beq not", func(b *prog.Builder) { b.Beq(r(1), r(2), "taken") }, false},
+		{"bne taken", func(b *prog.Builder) { b.Bne(r(1), r(2), "taken") }, true},
+		{"blt taken", func(b *prog.Builder) { b.Blt(r(2), r(1), "taken") }, true}, // -3 < 7
+		{"blt not", func(b *prog.Builder) { b.Blt(r(1), r(2), "taken") }, false},
+		{"bge taken", func(b *prog.Builder) { b.Bge(r(1), r(2), "taken") }, true},
+		{"bltu taken", func(b *prog.Builder) { b.Bltu(r(1), r(2), "taken") }, true}, // 7 < uint(-3)
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := buildAndRun(t, func(b *prog.Builder) {
+				b.Label("e")
+				b.Li(r(1), 7)
+				b.Li(r(2), -3)
+				c.setup(b)
+				b.Label("fall")
+				b.Li(r(10), 1)
+				b.Jmp("end")
+				b.Label("taken")
+				b.Li(r(10), 2)
+				b.Label("end")
+				b.Halt()
+			})
+			want := int64(1)
+			if c.taken {
+				want = 2
+			}
+			if got := m.IntReg(10); got != want {
+				t.Fatalf("landed wrong: r10=%d want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestObserverEvents(t *testing.T) {
+	b := prog.NewBuilder("obs")
+	base := b.Zeros("buf", 16)
+	b.Label("e")
+	b.Li(r(1), int64(base))
+	b.Li(r(2), 3)
+	b.Label("loop")
+	b.St(r(2), r(1), 8)
+	b.Addi(r(2), r(2), -1)
+	b.Bne(r(2), isa.RZero, "loop")
+	b.Label("end")
+	b.Halt()
+	p := b.MustBuild()
+
+	var seqs []uint64
+	var addrs []uint64
+	branches := 0
+	takens := 0
+	obs := func(ev *Event) error {
+		seqs = append(seqs, ev.Seq)
+		if ev.Inst.Op.IsMem() {
+			addrs = append(addrs, ev.Addr)
+		}
+		if ev.Inst.Op.IsBranch() {
+			branches++
+			if ev.Taken {
+				takens++
+			}
+		}
+		if ev.PC == 0 {
+			t.Error("zero PC")
+		}
+		return nil
+	}
+	res, err := RunProgram(p, Limits{}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("seq %d at position %d", s, i)
+		}
+	}
+	if uint64(len(seqs)) != res.Insts {
+		t.Fatalf("observer saw %d events, result says %d", len(seqs), res.Insts)
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("want 3 store events, got %d", len(addrs))
+	}
+	for _, a := range addrs {
+		if a != base+8 {
+			t.Fatalf("store addr %d want %d", a, base+8)
+		}
+	}
+	if branches != 3 || takens != 2 {
+		t.Fatalf("branches=%d takens=%d, want 3/2", branches, takens)
+	}
+}
+
+func TestObserverErrorAborts(t *testing.T) {
+	p := loopProgram(t)
+	boom := errors.New("boom")
+	n := 0
+	_, err := RunProgram(p, Limits{}, func(ev *Event) error {
+		n++
+		if n == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want observer error, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("ran %d events after abort", n)
+	}
+}
+
+// loopProgram counts down from 100.
+func loopProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("loop")
+	b.Label("e")
+	b.Li(r(1), 100)
+	b.Label("loop")
+	b.Addi(r(1), r(1), -1)
+	b.Bne(r(1), isa.RZero, "loop")
+	b.Label("end")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestInstructionLimit(t *testing.T) {
+	p := loopProgram(t)
+	res, err := RunProgram(p, Limits{MaxInsts: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatal("should not have halted")
+	}
+	if res.Insts != 10 {
+		t.Fatalf("ran %d insts, want 10", res.Insts)
+	}
+}
+
+// TestRunDeterminism: identical programs produce identical machines.
+func TestRunDeterminism(t *testing.T) {
+	fn := func(seed int64) bool {
+		mk := func() int64 {
+			b := prog.NewBuilder("d")
+			base := b.Zeros("buf", 64)
+			b.Label("e")
+			b.Li(r(1), seed)
+			b.Li(r(2), int64(base))
+			b.Li(r(3), 17)
+			b.Label("loop")
+			b.Mul(r(1), r(1), r(3))
+			b.Addi(r(1), r(1), 1)
+			b.St(r(1), r(2), 0)
+			b.Ld(r(4), r(2), 0)
+			b.Addi(r(3), r(3), -1)
+			b.Bne(r(3), isa.RZero, "loop")
+			b.Label("end")
+			b.Halt()
+			p := b.MustBuild()
+			m, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(Limits{}, nil); err != nil {
+				t.Fatal(err)
+			}
+			return m.IntReg(4)
+		}
+		return mk() == mk()
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package isa defines the RISC instruction set used throughout the
+// performance-cloning toolchain.
+//
+// The ISA is a small load/store architecture in the spirit of Alpha (the
+// target ISA in the paper): 32 integer registers, 32 floating-point
+// registers, byte-addressed memory, and fixed three-operand instructions.
+// Programs in this ISA are executed by the functional simulator
+// (internal/funcsim) for profiling and by the timing simulator
+// (internal/uarch) for performance measurement.
+package isa
+
+import "fmt"
+
+// Op enumerates every opcode in the ISA.
+type Op uint8
+
+// Opcodes. The integer/floating split mirrors the instruction-mix classes
+// the paper profiles (Section 3.1.2): integer arithmetic, integer multiply,
+// integer divide, FP arithmetic, FP multiply, FP divide, load, store, branch.
+const (
+	// Integer ALU.
+	OpAdd  Op = iota // rd = rs1 + rs2
+	OpSub            // rd = rs1 - rs2
+	OpAnd            // rd = rs1 & rs2
+	OpOr             // rd = rs1 | rs2
+	OpXor            // rd = rs1 ^ rs2
+	OpShl            // rd = rs1 << (rs2 & 63)
+	OpShr            // rd = uint64(rs1) >> (rs2 & 63)
+	OpSar            // rd = rs1 >> (rs2 & 63) (arithmetic)
+	OpAddi           // rd = rs1 + imm
+	OpLui            // rd = imm (load immediate)
+	OpSlt            // rd = rs1 < rs2 ? 1 : 0
+	OpSltu           // rd = uint64(rs1) < uint64(rs2) ? 1 : 0
+
+	// Integer multiply / divide.
+	OpMul // rd = rs1 * rs2
+	OpDiv // rd = rs1 / rs2 (0 if rs2 == 0)
+	OpRem // rd = rs1 % rs2 (0 if rs2 == 0)
+
+	// Floating point.
+	OpFAdd  // fd = fs1 + fs2
+	OpFSub  // fd = fs1 - fs2
+	OpFMul  // fd = fs1 * fs2
+	OpFDiv  // fd = fs1 / fs2
+	OpFNeg  // fd = -fs1
+	OpFCmp  // rd = fs1 < fs2 ? 1 : 0 (int destination)
+	OpCvtIF // fd = float64(rs1)
+	OpCvtFI // rd = int64(fs1)
+
+	// Memory. Effective address = rs1 + imm.
+	OpLd  // rd = mem64[rs1+imm]
+	OpLd4 // rd = sign-extended mem32[rs1+imm]
+	OpLd1 // rd = zero-extended mem8[rs1+imm]
+	OpSt  // mem64[rs1+imm] = rs2
+	OpSt4 // mem32[rs1+imm] = low 32 bits of rs2
+	OpSt1 // mem8[rs1+imm] = low 8 bits of rs2
+	OpFLd // fd = float bits of mem64[rs1+imm]
+	OpFSt // mem64[rs1+imm] = bits of fs2
+
+	// Control. Branch targets are basic-block indices resolved by the
+	// program builder; Target holds the taken successor.
+	OpBeq  // taken if rs1 == rs2
+	OpBne  // taken if rs1 != rs2
+	OpBlt  // taken if rs1 < rs2
+	OpBge  // taken if rs1 >= rs2
+	OpBltu // taken if uint64(rs1) < uint64(rs2)
+	OpJmp  // unconditional jump to Target
+	OpHalt // stop execution
+
+	numOps
+)
+
+// NumOps is the number of distinct opcodes.
+const NumOps = int(numOps)
+
+// Class groups opcodes into the categories the paper's instruction-mix
+// profile uses.
+type Class uint8
+
+const (
+	ClassIntALU Class = iota
+	ClassIntMul
+	ClassIntDiv
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassHalt
+	numClasses
+)
+
+// NumClasses is the number of instruction classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	ClassIntALU: "int-alu",
+	ClassIntMul: "int-mul",
+	ClassIntDiv: "int-div",
+	ClassFPAdd:  "fp-add",
+	ClassFPMul:  "fp-mul",
+	ClassFPDiv:  "fp-div",
+	ClassLoad:   "load",
+	ClassStore:  "store",
+	ClassBranch: "branch",
+	ClassJump:   "jump",
+	ClassHalt:   "halt",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+var opClass = [NumOps]Class{
+	OpAdd: ClassIntALU, OpSub: ClassIntALU, OpAnd: ClassIntALU,
+	OpOr: ClassIntALU, OpXor: ClassIntALU, OpShl: ClassIntALU,
+	OpShr: ClassIntALU, OpSar: ClassIntALU, OpAddi: ClassIntALU,
+	OpLui: ClassIntALU, OpSlt: ClassIntALU, OpSltu: ClassIntALU,
+	OpMul: ClassIntMul,
+	OpDiv: ClassIntDiv, OpRem: ClassIntDiv,
+	OpFAdd: ClassFPAdd, OpFSub: ClassFPAdd, OpFNeg: ClassFPAdd,
+	OpFCmp: ClassFPAdd, OpCvtIF: ClassFPAdd, OpCvtFI: ClassFPAdd,
+	OpFMul: ClassFPMul,
+	OpFDiv: ClassFPDiv,
+	OpLd:   ClassLoad, OpLd4: ClassLoad, OpLd1: ClassLoad, OpFLd: ClassLoad,
+	OpSt: ClassStore, OpSt4: ClassStore, OpSt1: ClassStore, OpFSt: ClassStore,
+	OpBeq: ClassBranch, OpBne: ClassBranch, OpBlt: ClassBranch,
+	OpBge: ClassBranch, OpBltu: ClassBranch,
+	OpJmp:  ClassJump,
+	OpHalt: ClassHalt,
+}
+
+// Class reports the instruction-mix class of the opcode.
+func (op Op) Class() Class {
+	if int(op) < NumOps {
+		return opClass[op]
+	}
+	return ClassHalt
+}
+
+var opNames = [NumOps]string{
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpSar: "sar", OpAddi: "addi", OpLui: "lui",
+	OpSlt: "slt", OpSltu: "sltu",
+	OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFNeg: "fneg", OpFCmp: "fcmp", OpCvtIF: "cvtif", OpCvtFI: "cvtfi",
+	OpLd: "ld", OpLd4: "ld4", OpLd1: "ld1",
+	OpSt: "st", OpSt4: "st4", OpSt1: "st1",
+	OpFLd: "fld", OpFSt: "fst",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge", OpBltu: "bltu",
+	OpJmp: "jmp", OpHalt: "halt",
+}
+
+func (op Op) String() string {
+	if int(op) < NumOps {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return op.Class() == ClassBranch }
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool {
+	c := op.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return op.Class() == ClassLoad }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return op.Class() == ClassStore }
+
+// IsFP reports whether op's destination is a floating-point register.
+func (op Op) IsFP() bool {
+	switch op {
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFNeg, OpCvtIF, OpFLd:
+		return true
+	}
+	return false
+}
+
+// MemBytes reports the access width in bytes of a memory opcode (0 for
+// non-memory opcodes).
+func (op Op) MemBytes() int {
+	switch op {
+	case OpLd, OpSt, OpFLd, OpFSt:
+		return 8
+	case OpLd4, OpSt4:
+		return 4
+	case OpLd1, OpSt1:
+		return 1
+	}
+	return 0
+}
+
+// Reg identifies an architected register. Integer registers are 0..31 and
+// floating-point registers are 32..63. Register 0 is hardwired to zero, as
+// on Alpha/MIPS.
+type Reg uint8
+
+// Register file layout.
+const (
+	// RZero always reads as 0; writes are discarded.
+	RZero Reg = 0
+	// NumIntRegs is the number of architected integer registers.
+	NumIntRegs = 32
+	// NumFPRegs is the number of architected floating-point registers.
+	NumFPRegs = 32
+	// NumRegs is the total architected register count.
+	NumRegs = NumIntRegs + NumFPRegs
+	// NoReg marks an absent operand.
+	NoReg Reg = 255
+)
+
+// IntReg returns the i'th integer register.
+func IntReg(i int) Reg { return Reg(i) }
+
+// FPReg returns the i'th floating-point register.
+func FPReg(i int) Reg { return Reg(NumIntRegs + i) }
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs && r < NumRegs }
+
+// Valid reports whether r names an architected register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+func (r Reg) String() string {
+	switch {
+	case r == NoReg:
+		return "-"
+	case r < NumIntRegs:
+		return fmt.Sprintf("r%d", r)
+	case r < NumRegs:
+		return fmt.Sprintf("f%d", r-NumIntRegs)
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// Inst is one instruction. Instructions live inside basic blocks
+// (internal/prog); a conditional branch or jump may appear only as the last
+// instruction of a block, with Target naming the taken-successor block.
+type Inst struct {
+	Op     Op
+	Rd     Reg   // destination (NoReg if none)
+	Rs1    Reg   // first source (NoReg if none)
+	Rs2    Reg   // second source (NoReg if none)
+	Imm    int64 // immediate / address displacement
+	Target int   // taken-successor block index for branches/jumps
+}
+
+// Dest returns the destination register, or NoReg.
+func (in *Inst) Dest() Reg {
+	if in.Op == OpHalt || in.Op == OpJmp || in.Op.IsBranch() || in.Op.IsStore() {
+		return NoReg
+	}
+	return in.Rd
+}
+
+// Sources appends the source registers in actually reads to dst and
+// returns it (opcode-aware: jumps and immediates have none, loads and
+// unary ops read only Rs1).
+func (in *Inst) Sources(dst []Reg) []Reg {
+	switch {
+	case in.Op == OpJmp, in.Op == OpHalt, in.Op == OpLui:
+		return dst
+	case in.Op == OpAddi, in.Op.IsLoad(),
+		in.Op == OpFNeg, in.Op == OpCvtIF, in.Op == OpCvtFI:
+		if in.Rs1 != NoReg {
+			dst = append(dst, in.Rs1)
+		}
+		return dst
+	default:
+		if in.Rs1 != NoReg {
+			dst = append(dst, in.Rs1)
+		}
+		if in.Rs2 != NoReg {
+			dst = append(dst, in.Rs2)
+		}
+		return dst
+	}
+}
+
+// String disassembles the instruction.
+func (in *Inst) String() string {
+	switch {
+	case in.Op == OpHalt:
+		return "halt"
+	case in.Op == OpJmp:
+		return fmt.Sprintf("jmp .B%d", in.Target)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s %s, %s, .B%d", in.Op, in.Rs1, in.Rs2, in.Target)
+	case in.Op.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case in.Op == OpAddi:
+		return fmt.Sprintf("addi %s, %s, %d", in.Rd, in.Rs1, in.Imm)
+	case in.Op == OpLui:
+		return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
+	case in.Op == OpFNeg, in.Op == OpCvtIF, in.Op == OpCvtFI:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+// Latency returns the execution latency in cycles used by the timing
+// simulator for each class. These follow common SimpleScalar defaults.
+func (c Class) Latency() int {
+	switch c {
+	case ClassIntALU:
+		return 1
+	case ClassIntMul:
+		return 3
+	case ClassIntDiv:
+		return 20
+	case ClassFPAdd:
+		return 2
+	case ClassFPMul:
+		return 4
+	case ClassFPDiv:
+		return 12
+	case ClassLoad:
+		return 1 // plus cache latency
+	case ClassStore:
+		return 1
+	default:
+		return 1
+	}
+}

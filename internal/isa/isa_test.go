@@ -1,0 +1,147 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEveryOpcodeHasNameAndClass(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("op %d has no name", op)
+		}
+		if int(op.Class()) >= NumClasses {
+			t.Errorf("op %v has invalid class %d", op, op.Class())
+		}
+		if op.Class().String() == "" {
+			t.Errorf("op %v class has no name", op)
+		}
+	}
+}
+
+func TestClassPredicatesConsistent(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		c := op.Class()
+		if op.IsLoad() != (c == ClassLoad) {
+			t.Errorf("%v: IsLoad inconsistent with class %v", op, c)
+		}
+		if op.IsStore() != (c == ClassStore) {
+			t.Errorf("%v: IsStore inconsistent with class %v", op, c)
+		}
+		if op.IsMem() != (op.IsLoad() || op.IsStore()) {
+			t.Errorf("%v: IsMem inconsistent", op)
+		}
+		if op.IsBranch() != (c == ClassBranch) {
+			t.Errorf("%v: IsBranch inconsistent", op)
+		}
+		if op.IsMem() && op.MemBytes() == 0 {
+			t.Errorf("%v: memory op with zero width", op)
+		}
+		if !op.IsMem() && op.MemBytes() != 0 {
+			t.Errorf("%v: non-memory op with width %d", op, op.MemBytes())
+		}
+	}
+}
+
+func TestMemWidths(t *testing.T) {
+	cases := map[Op]int{
+		OpLd: 8, OpSt: 8, OpFLd: 8, OpFSt: 8,
+		OpLd4: 4, OpSt4: 4,
+		OpLd1: 1, OpSt1: 1,
+	}
+	for op, want := range cases {
+		if got := op.MemBytes(); got != want {
+			t.Errorf("%v: width %d want %d", op, got, want)
+		}
+	}
+}
+
+func TestRegisterHelpers(t *testing.T) {
+	if r := IntReg(5); r.IsFP() || !r.Valid() || r.String() != "r5" {
+		t.Errorf("IntReg(5) = %v (fp=%v valid=%v)", r, r.IsFP(), r.Valid())
+	}
+	if r := FPReg(3); !r.IsFP() || !r.Valid() || r.String() != "f3" {
+		t.Errorf("FPReg(3) = %v", r)
+	}
+	if NoReg.Valid() {
+		t.Error("NoReg must not be valid")
+	}
+	if RZero != IntReg(0) {
+		t.Error("RZero must be integer register 0")
+	}
+	if NumRegs != NumIntRegs+NumFPRegs {
+		t.Error("register count mismatch")
+	}
+}
+
+func TestRegisterRoundTrip(t *testing.T) {
+	f := func(n uint8) bool {
+		i := int(n) % NumIntRegs
+		return IntReg(i).Valid() && !IntReg(i).IsFP() &&
+			FPReg(i).Valid() && FPReg(i).IsFP()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstDestAndSources(t *testing.T) {
+	cases := []struct {
+		in       Inst
+		wantDest Reg
+		wantSrcs int
+	}{
+		{Inst{Op: OpAdd, Rd: 3, Rs1: 1, Rs2: 2}, 3, 2},
+		{Inst{Op: OpSt, Rs1: 1, Rs2: 2}, NoReg, 2},
+		{Inst{Op: OpBeq, Rs1: 1, Rs2: 2}, NoReg, 2},
+		{Inst{Op: OpJmp}, NoReg, 0},
+		{Inst{Op: OpHalt}, NoReg, 0},
+		{Inst{Op: OpLd, Rd: 4, Rs1: 1, Rs2: NoReg}, 4, 1},
+		{Inst{Op: OpLui, Rd: 7, Rs1: NoReg, Rs2: NoReg, Imm: 9}, 7, 0},
+	}
+	for _, c := range cases {
+		if got := c.in.Dest(); got != c.wantDest {
+			t.Errorf("%v: dest %v want %v", c.in.Op, got, c.wantDest)
+		}
+		if got := len(c.in.Sources(nil)); got != c.wantSrcs {
+			t.Errorf("%v: %d sources want %d", c.in.Op, got, c.wantSrcs)
+		}
+	}
+}
+
+func TestDisassemblyShapes(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, Rd: 3, Rs1: 1, Rs2: 2}, "add r3, r1, r2"},
+		{Inst{Op: OpAddi, Rd: 3, Rs1: 1, Imm: -4}, "addi r3, r1, -4"},
+		{Inst{Op: OpLui, Rd: 3, Imm: 42}, "lui r3, 42"},
+		{Inst{Op: OpLd, Rd: 3, Rs1: 1, Imm: 16}, "ld r3, 16(r1)"},
+		{Inst{Op: OpSt, Rs1: 1, Rs2: 4, Imm: 8}, "st r4, 8(r1)"},
+		{Inst{Op: OpBeq, Rs1: 1, Rs2: 0, Target: 7}, "beq r1, r0, .B7"},
+		{Inst{Op: OpJmp, Target: 2}, "jmp .B2"},
+		{Inst{Op: OpHalt}, "halt"},
+		{Inst{Op: OpFNeg, Rd: FPReg(1), Rs1: FPReg(2)}, "fneg f1, f2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("got %q want %q", got, c.want)
+		}
+	}
+}
+
+func TestLatenciesPositive(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		if c.Latency() <= 0 {
+			t.Errorf("class %v latency %d", c, c.Latency())
+		}
+	}
+	if ClassIntDiv.Latency() <= ClassIntMul.Latency() {
+		t.Error("divide should be slower than multiply")
+	}
+	if ClassFPDiv.Latency() <= ClassFPMul.Latency() {
+		t.Error("FP divide should be slower than FP multiply")
+	}
+}

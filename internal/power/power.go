@@ -1,0 +1,174 @@
+// Package power implements an activity-based microarchitectural power
+// model in the style of Wattch (Brooks et al., ISCA 2000), which the paper
+// uses for its power experiments. Per-structure per-access energies are
+// derived analytically from the configuration's structure sizes; total
+// energy is access counts times access energies, plus a conditionally
+// clocked idle component (Wattch's "cc3" style: idle structures burn 10%
+// of their active power).
+//
+// Absolute values are in arbitrary energy units — the paper's experiments
+// (Figures 7 and 9, Table 3) evaluate relative accuracy across design
+// changes, which depends only on how energies scale with structure sizes
+// and activity.
+package power
+
+import (
+	"math"
+
+	"perfclone/internal/cache"
+	"perfclone/internal/isa"
+	"perfclone/internal/uarch"
+)
+
+// Breakdown reports per-structure energy and summary power.
+type Breakdown struct {
+	Fetch   float64
+	Rename  float64
+	Window  float64
+	LSQ     float64
+	Regfile float64
+	Bpred   float64
+	L1I     float64
+	L1D     float64
+	L2      float64
+	ALU     float64
+	Clock   float64
+	// Total is the sum of all components (energy units).
+	Total float64
+	// AvgPower is Total divided by cycles (energy units per cycle).
+	AvgPower float64
+}
+
+// Model holds per-access energies for one configuration.
+type Model struct {
+	cfg uarch.Config
+
+	fetchE   float64
+	renameE  float64
+	windowE  float64 // per issue: wakeup + select
+	lsqE     float64
+	regReadE float64
+	regWrE   float64
+	bpredE   float64
+	l1iE     float64
+	l1dE     float64
+	l2E      float64
+	aluE     [isa.NumClasses]float64
+	clockE   float64 // per cycle
+	idleFrac float64
+}
+
+// New derives a power model for the configuration.
+func New(cfg uarch.Config) *Model {
+	m := &Model{cfg: cfg, idleFrac: 0.1}
+	w := float64(cfg.Width)
+	// Array energy model: E ∝ sqrt(entries) × port count; ports scale
+	// with machine width (Wattch models wordline/bitline energy growing
+	// with both array size and port count).
+	array := func(entries, ports float64) float64 {
+		return math.Sqrt(entries) * ports
+	}
+	m.fetchE = 0.4 * w
+	m.renameE = 0.3*w + 0.1*array(float64(cfg.ROBSize), w)
+	m.windowE = 0.5*array(float64(cfg.ROBSize), w) + 0.2*float64(cfg.ROBSize)/8
+	m.lsqE = 0.4 * array(float64(cfg.LSQSize), w)
+	m.regReadE = 0.15 * array(isa.NumRegs, w)
+	m.regWrE = 0.2 * array(isa.NumRegs, w)
+	m.bpredE = bpredEnergy(cfg.Predictor)
+	m.l1iE = cacheEnergy(cfg.L1I)
+	m.l1dE = cacheEnergy(cfg.L1D)
+	m.l2E = cacheEnergy(cfg.L2)
+	// Execution unit energies by class (FP and long-latency ops burn
+	// more per operation).
+	m.aluE[isa.ClassIntALU] = 1.0
+	m.aluE[isa.ClassBranch] = 1.0
+	m.aluE[isa.ClassJump] = 0.5
+	m.aluE[isa.ClassIntMul] = 3.0
+	m.aluE[isa.ClassIntDiv] = 6.0
+	m.aluE[isa.ClassFPAdd] = 2.5
+	m.aluE[isa.ClassFPMul] = 4.0
+	m.aluE[isa.ClassFPDiv] = 8.0
+	m.aluE[isa.ClassLoad] = 0.8
+	m.aluE[isa.ClassStore] = 0.8
+	// Clock tree scales with the machine's total capacity.
+	capacity := w*4 +
+		0.05*float64(cfg.ROBSize) + 0.05*float64(cfg.LSQSize) +
+		0.3*float64(cfg.IntALUs+cfg.FPALUs+cfg.IntMulDiv+cfg.FPMulDiv) +
+		0.2*math.Log2(float64(cfg.L1D.Size+cfg.L1I.Size+cfg.L2.Size))
+	m.clockE = 0.35 * capacity
+	return m
+}
+
+// cacheEnergy is the per-access energy of a cache array: decoders plus
+// wordline/bitline plus tag compare — grows with the square root of the
+// array and with associativity (all ways are read in parallel).
+func cacheEnergy(c cache.Config) float64 {
+	assoc := c.Assoc
+	lines := c.Size / c.LineSize
+	if assoc == 0 {
+		assoc = lines
+	}
+	sets := lines / assoc
+	return 0.3*math.Sqrt(float64(sets*c.LineSize)) + 0.6*float64(assoc)
+}
+
+// bpredEnergy gives the predictor's per-lookup energy.
+func bpredEnergy(p uarch.PredictorSpec) float64 {
+	switch p {
+	case "not-taken", "taken":
+		return 0.05
+	case "bimodal":
+		return 0.8
+	case "gshare":
+		return 1.0
+	default: // gap
+		return 1.2
+	}
+}
+
+// Estimate computes the energy breakdown for a finished timing run.
+func (m *Model) Estimate(st uarch.Stats) Breakdown {
+	var b Breakdown
+	cyc := float64(st.Cycles)
+	b.Fetch = m.fetchE * float64(st.Fetched)
+	b.Rename = m.renameE * float64(st.Dispatched)
+	b.Window = m.windowE * float64(st.Issued)
+	b.LSQ = m.lsqE * float64(st.L1D.Accesses)
+	b.Regfile = m.regReadE*float64(st.RegReads) + m.regWrE*float64(st.RegWrites)
+	b.Bpred = m.bpredE * float64(st.BranchLookups)
+	b.L1I = m.l1iE * float64(st.L1I.Accesses)
+	b.L1D = m.l1dE * float64(st.L1D.Accesses)
+	b.L2 = m.l2E * float64(st.L2.Accesses)
+	for cls, n := range st.Classes {
+		b.ALU += m.aluE[cls] * float64(n)
+	}
+	// Conditional clocking: idle structure overhead plus the clock tree.
+	active := b.Fetch + b.Rename + b.Window + b.LSQ + b.Regfile +
+		b.Bpred + b.L1I + b.L1D + b.L2 + b.ALU
+	maxActive := m.maxPerCycle() * cyc
+	idle := m.idleFrac * math.Max(0, maxActive-active)
+	b.Clock = m.clockE*cyc + idle
+	b.Total = active + b.Clock
+	if st.Cycles > 0 {
+		b.AvgPower = b.Total / cyc
+	}
+	return b
+}
+
+// maxPerCycle estimates the all-structures-active energy of one cycle,
+// the baseline against which conditional clocking saves power.
+func (m *Model) maxPerCycle() float64 {
+	w := float64(m.cfg.Width)
+	return m.fetchE*w + m.renameE*w + m.windowE*w + m.lsqE +
+		m.regReadE*2*w + m.regWrE*w + m.bpredE +
+		m.l1iE + m.l1dE + 0.1*m.l2E +
+		m.aluE[isa.ClassIntALU]*float64(m.cfg.IntALUs) +
+		m.aluE[isa.ClassFPAdd]*float64(m.cfg.FPALUs) +
+		m.aluE[isa.ClassFPMul]*float64(m.cfg.FPMulDiv) +
+		m.aluE[isa.ClassIntMul]*float64(m.cfg.IntMulDiv)
+}
+
+// Estimate is a convenience one-shot: model + estimate.
+func Estimate(st uarch.Stats) Breakdown {
+	return New(st.Config).Estimate(st)
+}

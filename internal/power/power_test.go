@@ -1,0 +1,126 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"perfclone/internal/isa"
+	"perfclone/internal/uarch"
+)
+
+// syntheticStats fabricates a plausible activity profile for n
+// instructions on cfg.
+func syntheticStats(cfg uarch.Config, n uint64) uarch.Stats {
+	st := uarch.Stats{Config: cfg}
+	st.Insts = n
+	st.Cycles = n + n/4
+	st.Fetched = n
+	st.Dispatched = n
+	st.Issued = n
+	st.Committed = n
+	st.RegReads = 3 * n / 2
+	st.RegWrites = 3 * n / 4
+	st.BranchLookups = n / 8
+	st.L1I.Accesses = n / 4
+	st.L1D.Accesses = n / 4
+	st.L2.Accesses = n / 50
+	st.Classes[isa.ClassIntALU] = n / 2
+	st.Classes[isa.ClassLoad] = n / 5
+	st.Classes[isa.ClassStore] = n / 10
+	st.Classes[isa.ClassBranch] = n / 8
+	st.Classes[isa.ClassFPMul] = n / 20
+	return st
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	cfg := uarch.BaseConfig()
+	b := New(cfg).Estimate(syntheticStats(cfg, 100000))
+	sum := b.Fetch + b.Rename + b.Window + b.LSQ + b.Regfile + b.Bpred +
+		b.L1I + b.L1D + b.L2 + b.ALU + b.Clock
+	if math.Abs(sum-b.Total)/b.Total > 1e-9 {
+		t.Fatalf("components %f != total %f", sum, b.Total)
+	}
+	if b.AvgPower <= 0 {
+		t.Fatal("no power")
+	}
+}
+
+func TestMoreActivityMoreEnergy(t *testing.T) {
+	cfg := uarch.BaseConfig()
+	m := New(cfg)
+	lo := m.Estimate(syntheticStats(cfg, 50000))
+	hi := m.Estimate(syntheticStats(cfg, 100000))
+	if hi.Total <= lo.Total {
+		t.Fatalf("energy did not grow with activity: %f vs %f", hi.Total, lo.Total)
+	}
+}
+
+func TestWiderMachineBurnsMorePower(t *testing.T) {
+	base := uarch.BaseConfig()
+	wide := base
+	wide.Width = 2
+	wide.Name = "wide"
+	// Same activity per cycle, wider structures → higher power.
+	stBase := syntheticStats(base, 100000)
+	stWide := syntheticStats(wide, 100000)
+	pBase := New(base).Estimate(stBase).AvgPower
+	pWide := New(wide).Estimate(stWide).AvgPower
+	if pWide <= pBase {
+		t.Fatalf("2-wide power %f not above 1-wide %f", pWide, pBase)
+	}
+}
+
+func TestBiggerCacheCostsMoreEnergyPerAccess(t *testing.T) {
+	base := uarch.BaseConfig()
+	big := base
+	big.L1D.Size *= 4
+	st := syntheticStats(base, 100000)
+	st2 := st
+	st2.Config = big
+	e1 := New(base).Estimate(st).L1D
+	e2 := New(big).Estimate(st2).L1D
+	if e2 <= e1 {
+		t.Fatalf("4x L1D energy %f not above base %f", e2, e1)
+	}
+}
+
+func TestFPOperationsCostMore(t *testing.T) {
+	cfg := uarch.BaseConfig()
+	intSt := syntheticStats(cfg, 100000)
+	fpSt := intSt
+	fpSt.Classes[isa.ClassIntALU] = 0
+	fpSt.Classes[isa.ClassFPDiv] = 50000
+	if intE, fpE := New(cfg).Estimate(intSt).ALU, New(cfg).Estimate(fpSt).ALU; fpE <= intE {
+		t.Fatalf("FP-divide ALU energy %f not above int-ALU %f", fpE, intE)
+	}
+}
+
+func TestNotTakenPredictorIsCheap(t *testing.T) {
+	base := uarch.BaseConfig()
+	nt := base
+	nt.Predictor = "not-taken"
+	st := syntheticStats(base, 100000)
+	st2 := st
+	st2.Config = nt
+	if g, n := New(base).Estimate(st).Bpred, New(nt).Estimate(st2).Bpred; n >= g {
+		t.Fatalf("static predictor energy %f not below GAp %f", n, g)
+	}
+}
+
+func TestEstimateConvenience(t *testing.T) {
+	cfg := uarch.BaseConfig()
+	st := syntheticStats(cfg, 1000)
+	a := Estimate(st)
+	b := New(cfg).Estimate(st)
+	if a.Total != b.Total {
+		t.Fatal("Estimate() disagrees with New().Estimate()")
+	}
+}
+
+func TestZeroCyclesNoPower(t *testing.T) {
+	cfg := uarch.BaseConfig()
+	b := New(cfg).Estimate(uarch.Stats{Config: cfg})
+	if b.AvgPower != 0 {
+		t.Fatalf("power without cycles: %f", b.AvgPower)
+	}
+}

@@ -1,0 +1,55 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDot renders the statistical flow graph in Graphviz DOT form: one
+// node per (predecessor-context, block) with execution count and size,
+// edges annotated with transition probabilities — Figure 2 of the paper,
+// generated from a real profile.
+func (p *Profile) WriteDot(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n\trankdir=TB;\n\tnode [shape=box];\n", p.Name); err != nil {
+		return err
+	}
+	id := func(k NodeKey) string {
+		return fmt.Sprintf("n_%d_%d", k.Prev+1, k.Block)
+	}
+	for _, n := range p.NodeList {
+		label := fmt.Sprintf("B%d", n.Key.Block)
+		if n.Key.Prev >= 0 {
+			label = fmt.Sprintf("B%d (from B%d)", n.Key.Block, n.Key.Prev)
+		}
+		fmt.Fprintf(w, "\t%s [label=\"%s\\ncount %d, size %d\"];\n",
+			id(n.Key), label, n.Count, n.Size)
+	}
+	for _, n := range p.NodeList {
+		var tot uint64
+		succs := make([]int, 0, len(n.Succ))
+		for s := range n.Succ {
+			succs = append(succs, s)
+		}
+		sort.Ints(succs)
+		for _, s := range succs {
+			tot += n.Succ[s]
+		}
+		for _, s := range succs {
+			prob := float64(n.Succ[s]) / float64(tot)
+			// The successor node in this node's context.
+			toKey := NodeKey{Prev: n.Key.Block, Block: s}
+			if _, ok := p.Nodes[toKey]; !ok {
+				// Context collapsed (PerBlockNodes): point at the flat
+				// node.
+				toKey = NodeKey{Prev: -1, Block: s}
+				if _, ok := p.Nodes[toKey]; !ok {
+					continue
+				}
+			}
+			fmt.Fprintf(w, "\t%s -> %s [label=\"%.2f\"];\n", id(n.Key), id(toKey), prob)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

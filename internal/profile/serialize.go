@@ -1,0 +1,74 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Save writes the profile as JSON. This is the dissemination format of
+// Figure 1's "workload profile" box: a vendor profiles the proprietary
+// application in-house and ships either this file or a clone generated
+// from it — never the application.
+func (p *Profile) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("profile: save %q: %w", p.Name, err)
+	}
+	return nil
+}
+
+// Load reads a profile written by Save and rebuilds the lookup maps.
+func Load(r io.Reader) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: load: %w", err)
+	}
+	p.Nodes = make(map[NodeKey]*Node, len(p.NodeList))
+	for _, n := range p.NodeList {
+		if n.Succ == nil {
+			n.Succ = make(map[int]uint64)
+		}
+		p.Nodes[n.Key] = n
+	}
+	p.Mem = make(map[StaticRef]*MemStat, len(p.MemList))
+	for _, m := range p.MemList {
+		p.Mem[m.Ref] = m
+	}
+	p.Branches = make(map[StaticRef]*BranchStat, len(p.BranchList))
+	for _, b := range p.BranchList {
+		p.Branches[b.Ref] = b
+	}
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// check validates structural invariants of a deserialized profile.
+func (p *Profile) check() error {
+	if p.Name == "" {
+		return fmt.Errorf("profile: missing name")
+	}
+	if len(p.NodeList) == 0 {
+		return fmt.Errorf("profile %q: no SFG nodes", p.Name)
+	}
+	for _, n := range p.NodeList {
+		if n.Size <= 0 {
+			return fmt.Errorf("profile %q: node %v has size %d", p.Name, n.Key, n.Size)
+		}
+	}
+	for _, m := range p.MemList {
+		if m.MaxAddr < m.MinAddr {
+			return fmt.Errorf("profile %q: mem op %v has inverted interval", p.Name, m.Ref)
+		}
+	}
+	for _, b := range p.BranchList {
+		if b.Taken > b.Count {
+			return fmt.Errorf("profile %q: branch %v taken %d > count %d", p.Name, b.Ref, b.Taken, b.Count)
+		}
+	}
+	return nil
+}

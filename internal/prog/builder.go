@@ -1,0 +1,345 @@
+package prog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"perfclone/internal/isa"
+)
+
+// Builder constructs a Program block by block with forward-label support.
+// Workload kernels (internal/workloads) and the clone generator
+// (internal/synth) both use it. Methods panic on misuse: builders run at
+// program-construction time where a bug is a programming error, not a
+// runtime condition (the standard library takes the same stance in e.g.
+// regexp.MustCompile).
+type Builder struct {
+	name     string
+	blocks   []Block
+	cur      int // index of the open block, -1 if none
+	labels   map[string]int
+	pending  map[string][]pendingRef // label -> (block, inst) sites to patch
+	segments []Segment
+	memSize  uint64
+	sealed   bool
+}
+
+type pendingRef struct{ block, inst int }
+
+// NewBuilder returns an empty Builder for a program called name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		cur:     -1,
+		labels:  make(map[string]int),
+		pending: make(map[string][]pendingRef),
+	}
+}
+
+// Label opens a new basic block with the given name and makes it current.
+// Any previously open block must have ended with control flow or it falls
+// through to this one.
+func (b *Builder) Label(name string) {
+	b.checkOpen()
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("builder %s: duplicate label %q", b.name, name))
+	}
+	idx := len(b.blocks)
+	b.blocks = append(b.blocks, Block{Label: name})
+	b.labels[name] = idx
+	b.cur = idx
+	for _, ref := range b.pending[name] {
+		b.blocks[ref.block].Insts[ref.inst].Target = idx
+	}
+	delete(b.pending, name)
+}
+
+func (b *Builder) checkOpen() {
+	if b.sealed {
+		panic(fmt.Sprintf("builder %s: already built", b.name))
+	}
+}
+
+func (b *Builder) emit(in isa.Inst) {
+	b.checkOpen()
+	if b.cur < 0 {
+		panic(fmt.Sprintf("builder %s: instruction before first Label", b.name))
+	}
+	blk := &b.blocks[b.cur]
+	if t := blk.Terminator(); t != nil && (t.Op.IsBranch() || t.Op == isa.OpJmp || t.Op == isa.OpHalt) {
+		panic(fmt.Sprintf("builder %s: instruction after terminator in block %q", b.name, blk.Label))
+	}
+	blk.Insts = append(blk.Insts, in)
+}
+
+func (b *Builder) emitCtl(in isa.Inst, label string) {
+	if idx, ok := b.labels[label]; ok {
+		in.Target = idx
+	} else {
+		in.Target = -1
+	}
+	b.emit(in)
+	if in.Target == -1 {
+		blk := b.cur
+		b.pending[label] = append(b.pending[label], pendingRef{blk, len(b.blocks[blk].Insts) - 1})
+	}
+}
+
+// --- Integer ALU ---
+
+// Op3 emits a generic three-register instruction.
+func (b *Builder) Op3(op isa.Op, rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpAdd, rd, rs1, rs2) }
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpSub, rd, rs1, rs2) }
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpAnd, rd, rs1, rs2) }
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpOr, rd, rs1, rs2) }
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpXor, rd, rs1, rs2) }
+
+// Shl emits rd = rs1 << rs2.
+func (b *Builder) Shl(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpShl, rd, rs1, rs2) }
+
+// Shr emits rd = rs1 >> rs2 (logical).
+func (b *Builder) Shr(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpShr, rd, rs1, rs2) }
+
+// Sar emits rd = rs1 >> rs2 (arithmetic).
+func (b *Builder) Sar(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpSar, rd, rs1, rs2) }
+
+// Slt emits rd = (rs1 < rs2).
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpSlt, rd, rs1, rs2) }
+
+// Sltu emits rd = (uint(rs1) < uint(rs2)).
+func (b *Builder) Sltu(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpSltu, rd, rs1, rs2) }
+
+// Mul emits rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpMul, rd, rs1, rs2) }
+
+// Div emits rd = rs1 / rs2.
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpDiv, rd, rs1, rs2) }
+
+// Rem emits rd = rs1 % rs2.
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg) { b.Op3(isa.OpRem, rd, rs1, rs2) }
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Li loads an immediate into rd.
+func (b *Builder) Li(rd isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: imm})
+}
+
+// Mov copies rs into rd.
+func (b *Builder) Mov(rd, rs isa.Reg) { b.Addi(rd, rs, 0) }
+
+// --- Floating point ---
+
+// FAdd emits fd = fs1 + fs2.
+func (b *Builder) FAdd(fd, fs1, fs2 isa.Reg) { b.Op3(isa.OpFAdd, fd, fs1, fs2) }
+
+// FSub emits fd = fs1 - fs2.
+func (b *Builder) FSub(fd, fs1, fs2 isa.Reg) { b.Op3(isa.OpFSub, fd, fs1, fs2) }
+
+// FMul emits fd = fs1 * fs2.
+func (b *Builder) FMul(fd, fs1, fs2 isa.Reg) { b.Op3(isa.OpFMul, fd, fs1, fs2) }
+
+// FDiv emits fd = fs1 / fs2.
+func (b *Builder) FDiv(fd, fs1, fs2 isa.Reg) { b.Op3(isa.OpFDiv, fd, fs1, fs2) }
+
+// FNeg emits fd = -fs1.
+func (b *Builder) FNeg(fd, fs1 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpFNeg, Rd: fd, Rs1: fs1})
+}
+
+// FCmpLt emits rd = (fs1 < fs2), with an integer destination.
+func (b *Builder) FCmpLt(rd, fs1, fs2 isa.Reg) { b.Op3(isa.OpFCmp, rd, fs1, fs2) }
+
+// CvtIF emits fd = float64(rs1).
+func (b *Builder) CvtIF(fd, rs1 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpCvtIF, Rd: fd, Rs1: rs1})
+}
+
+// CvtFI emits rd = int64(fs1).
+func (b *Builder) CvtFI(rd, fs1 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpCvtFI, Rd: rd, Rs1: fs1})
+}
+
+// --- Memory ---
+
+// Ld emits rd = mem64[rs1+imm].
+func (b *Builder) Ld(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpLd, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ld4 emits rd = mem32[rs1+imm].
+func (b *Builder) Ld4(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpLd4, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ld1 emits rd = mem8[rs1+imm].
+func (b *Builder) Ld1(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpLd1, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// St emits mem64[rs1+imm] = rs2.
+func (b *Builder) St(rs2, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpSt, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// St4 emits mem32[rs1+imm] = rs2.
+func (b *Builder) St4(rs2, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpSt4, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// St1 emits mem8[rs1+imm] = rs2.
+func (b *Builder) St1(rs2, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpSt1, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// FLd emits fd = mem64[rs1+imm] interpreted as float bits.
+func (b *Builder) FLd(fd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpFLd, Rd: fd, Rs1: rs1, Imm: imm})
+}
+
+// FSt emits mem64[rs1+imm] = bits of fs2.
+func (b *Builder) FSt(fs2, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpFSt, Rs1: rs1, Rs2: fs2, Imm: imm})
+}
+
+// --- Control ---
+
+// Beq branches to label when rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) {
+	b.emitCtl(isa.Inst{Op: isa.OpBeq, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bne branches to label when rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) {
+	b.emitCtl(isa.Inst{Op: isa.OpBne, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Blt branches to label when rs1 < rs2.
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) {
+	b.emitCtl(isa.Inst{Op: isa.OpBlt, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bge branches to label when rs1 >= rs2.
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) {
+	b.emitCtl(isa.Inst{Op: isa.OpBge, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bltu branches to label when uint(rs1) < uint(rs2).
+func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) {
+	b.emitCtl(isa.Inst{Op: isa.OpBltu, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Jmp jumps unconditionally to label.
+func (b *Builder) Jmp(label string) {
+	b.emitCtl(isa.Inst{Op: isa.OpJmp}, label)
+}
+
+// Halt stops the program.
+func (b *Builder) Halt() { b.emit(isa.Inst{Op: isa.OpHalt}) }
+
+// --- Data segments ---
+
+// align rounds n up to a multiple of 64 (a cache line) so distinct
+// segments never share a line.
+func align(n uint64) uint64 { return (n + 63) &^ 63 }
+
+// Bytes places raw bytes in memory and returns their base address.
+func (b *Builder) Bytes(name string, data []byte) uint64 {
+	b.checkOpen()
+	base := align(b.memSize)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.segments = append(b.segments, Segment{Name: name, Base: base, Data: cp})
+	b.memSize = base + uint64(len(cp))
+	return base
+}
+
+// Words places 64-bit integers in memory and returns their base address.
+func (b *Builder) Words(name string, vals []int64) uint64 {
+	data := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(data[8*i:], uint64(v))
+	}
+	return b.Bytes(name, data)
+}
+
+// Floats places float64 values in memory and returns their base address.
+func (b *Builder) Floats(name string, vals []float64) uint64 {
+	data := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(data[8*i:], math.Float64bits(v))
+	}
+	return b.Bytes(name, data)
+}
+
+// PatchSegment replaces the contents of a previously allocated segment of
+// the same size. It exists for data whose contents depend on the segment's
+// own base address (e.g. pointer-linked structures).
+func (b *Builder) PatchSegment(name string, data []byte) {
+	b.checkOpen()
+	for i := range b.segments {
+		if b.segments[i].Name == name {
+			if len(data) != len(b.segments[i].Data) {
+				panic(fmt.Sprintf("builder %s: PatchSegment %q size %d != %d", b.name, name, len(data), len(b.segments[i].Data)))
+			}
+			copy(b.segments[i].Data, data)
+			return
+		}
+	}
+	panic(fmt.Sprintf("builder %s: PatchSegment: no segment %q", b.name, name))
+}
+
+// Zeros reserves n zeroed bytes and returns their base address.
+func (b *Builder) Zeros(name string, n uint64) uint64 {
+	return b.Bytes(name, make([]byte, n))
+}
+
+// Build finalizes the program, validating it. Unresolved labels are an
+// error.
+func (b *Builder) Build() (*Program, error) {
+	b.checkOpen()
+	if len(b.pending) != 0 {
+		for lbl := range b.pending {
+			return nil, fmt.Errorf("builder %s: unresolved label %q", b.name, lbl)
+		}
+	}
+	b.sealed = true
+	p := &Program{
+		Name:     b.name,
+		Blocks:   b.blocks,
+		Entry:    0,
+		Segments: b.segments,
+		MemSize:  align(b.memSize) + 64,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for statically known-good
+// construction sites (all workload kernels).
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

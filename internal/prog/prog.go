@@ -1,0 +1,157 @@
+// Package prog defines the executable program representation shared by the
+// functional simulator, the profiler, the timing simulator, and the clone
+// generator: a list of basic blocks over the ISA in internal/isa, plus the
+// initial data image of the program.
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"perfclone/internal/isa"
+)
+
+// Block is a basic block: straight-line instructions with at most one
+// control-flow instruction, which must be last.
+type Block struct {
+	// Label is an optional human-readable name used in disassembly.
+	Label string
+	// Insts are the instructions of the block.
+	Insts []isa.Inst
+}
+
+// Terminator returns the final instruction of the block, or nil if the
+// block is empty.
+func (b *Block) Terminator() *isa.Inst {
+	if len(b.Insts) == 0 {
+		return nil
+	}
+	return &b.Insts[len(b.Insts)-1]
+}
+
+// Segment is a named region of the initial memory image.
+type Segment struct {
+	Name string
+	Base uint64
+	Data []byte
+}
+
+// Program is a complete executable unit.
+type Program struct {
+	// Name identifies the program (e.g. the workload name).
+	Name string
+	// Blocks are the basic blocks; execution starts at Blocks[Entry].
+	Blocks []Block
+	// Entry is the index of the entry block.
+	Entry int
+	// Segments is the initial data image.
+	Segments []Segment
+	// MemSize is the highest address the program may touch plus one; the
+	// simulators size memory from it.
+	MemSize uint64
+
+	blockBase []uint64 // lazy per-block text offsets for InstAddr
+}
+
+// NumStaticInsts returns the total static instruction count.
+func (p *Program) NumStaticInsts() int {
+	n := 0
+	for i := range p.Blocks {
+		n += len(p.Blocks[i].Insts)
+	}
+	return n
+}
+
+// InstAddr returns a unique static "address" for instruction instIdx of
+// block blockIdx, used as the PC by caches and branch predictors. Each
+// instruction occupies 8 bytes of a synthetic text segment.
+func (p *Program) InstAddr(blockIdx, instIdx int) uint64 {
+	// Precomputed on first use.
+	if p.blockBase == nil {
+		p.blockBase = make([]uint64, len(p.Blocks)+1)
+		var off uint64
+		for i := range p.Blocks {
+			p.blockBase[i] = off
+			off += uint64(len(p.Blocks[i].Insts)) * 8
+		}
+		p.blockBase[len(p.Blocks)] = off
+	}
+	return textBase + p.blockBase[blockIdx] + uint64(instIdx)*8
+}
+
+// textBase is the base address of the synthetic text segment. It is placed
+// far above any data segment so instruction and data addresses never alias.
+const textBase = 1 << 40
+
+// Validate checks structural invariants: control-flow instructions appear
+// only at block ends, all targets are in range, registers are valid, and
+// the entry index is in range. It returns the first violation found.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("prog %q: no blocks", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Blocks) {
+		return fmt.Errorf("prog %q: entry %d out of range", p.Name, p.Entry)
+	}
+	for bi := range p.Blocks {
+		b := &p.Blocks[bi]
+		if len(b.Insts) == 0 {
+			return fmt.Errorf("prog %q: block %d empty", p.Name, bi)
+		}
+		for ii := range b.Insts {
+			in := &b.Insts[ii]
+			isCtl := in.Op.IsBranch() || in.Op == isa.OpJmp || in.Op == isa.OpHalt
+			if isCtl && ii != len(b.Insts)-1 {
+				return fmt.Errorf("prog %q: block %d inst %d: control op %s not last", p.Name, bi, ii, in.Op)
+			}
+			if in.Op.IsBranch() || in.Op == isa.OpJmp {
+				if in.Target < 0 || in.Target >= len(p.Blocks) {
+					return fmt.Errorf("prog %q: block %d inst %d: target %d out of range", p.Name, bi, ii, in.Target)
+				}
+			}
+			if d := in.Dest(); d != isa.NoReg && !d.Valid() {
+				return fmt.Errorf("prog %q: block %d inst %d: bad dest %d", p.Name, bi, ii, d)
+			}
+			for _, s := range in.Sources(nil) {
+				if !s.Valid() {
+					return fmt.Errorf("prog %q: block %d inst %d: bad source %d", p.Name, bi, ii, s)
+				}
+			}
+			// Branches must fall through to bi+1; a branch in the last
+			// block would fall off the program.
+			if in.Op.IsBranch() && bi == len(p.Blocks)-1 {
+				return fmt.Errorf("prog %q: block %d: conditional branch in final block has no fall-through", p.Name, bi)
+			}
+		}
+		// Non-control final instructions also fall through.
+		t := b.Terminator()
+		isCtl := t.Op.IsBranch() || t.Op == isa.OpJmp || t.Op == isa.OpHalt
+		if !isCtl && bi == len(p.Blocks)-1 {
+			return fmt.Errorf("prog %q: final block %d falls off the program", p.Name, bi)
+		}
+	}
+	for _, s := range p.Segments {
+		if s.Base+uint64(len(s.Data)) > p.MemSize {
+			return fmt.Errorf("prog %q: segment %q [%d,%d) exceeds MemSize %d", p.Name, s.Name, s.Base, s.Base+uint64(len(s.Data)), p.MemSize)
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole program as text.
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; program %s: %d blocks, %d insts\n", p.Name, len(p.Blocks), p.NumStaticInsts())
+	for bi := range p.Blocks {
+		b := &p.Blocks[bi]
+		if b.Label != "" {
+			fmt.Fprintf(&sb, ".B%d: ; %s\n", bi, b.Label)
+		} else {
+			fmt.Fprintf(&sb, ".B%d:\n", bi)
+		}
+		for ii := range b.Insts {
+			fmt.Fprintf(&sb, "\t%s\n", b.Insts[ii].String())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,231 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"perfclone/internal/isa"
+)
+
+// small builds a minimal valid two-block program.
+func small(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("small")
+	b.Label("entry")
+	b.Li(isa.IntReg(1), 5)
+	b.Label("exit")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuilderBasic(t *testing.T) {
+	p := small(t)
+	if len(p.Blocks) != 2 || p.NumStaticInsts() != 2 {
+		t.Fatalf("blocks=%d insts=%d", len(p.Blocks), p.NumStaticInsts())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderForwardLabels(t *testing.T) {
+	b := NewBuilder("fwd")
+	b.Label("entry")
+	b.Jmp("later") // forward reference
+	b.Label("mid")
+	b.Li(isa.IntReg(1), 1)
+	b.Label("later")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt := p.Blocks[0].Insts[0].Target; tgt != 2 {
+		t.Fatalf("forward jump target %d, want 2", tgt)
+	}
+}
+
+func TestBuilderUnresolvedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Label("entry")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "unresolved") {
+		t.Fatalf("want unresolved-label error, got %v", err)
+	}
+}
+
+func TestBuilderPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("inst before label", func() {
+		b := NewBuilder("x")
+		b.Halt()
+	})
+	mustPanic("duplicate label", func() {
+		b := NewBuilder("x")
+		b.Label("a")
+		b.Halt()
+		b.Label("a")
+	})
+	mustPanic("inst after terminator", func() {
+		b := NewBuilder("x")
+		b.Label("a")
+		b.Halt()
+		b.Li(isa.IntReg(1), 1)
+	})
+	mustPanic("patch missing segment", func() {
+		b := NewBuilder("x")
+		b.PatchSegment("nope", nil)
+	})
+	mustPanic("patch size mismatch", func() {
+		b := NewBuilder("x")
+		b.Zeros("seg", 8)
+		b.PatchSegment("seg", make([]byte, 4))
+	})
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Program
+		want string
+	}{
+		{"no blocks", Program{Name: "x"}, "no blocks"},
+		{"empty block", Program{Name: "x", Blocks: []Block{{}}}, "empty"},
+		{
+			"control mid-block",
+			Program{Name: "x", Blocks: []Block{{Insts: []isa.Inst{
+				{Op: isa.OpHalt}, {Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: 1},
+			}}}},
+			"not last",
+		},
+		{
+			"target out of range",
+			Program{Name: "x", Blocks: []Block{{Insts: []isa.Inst{
+				{Op: isa.OpJmp, Target: 5},
+			}}}},
+			"out of range",
+		},
+		{
+			"fall off end",
+			Program{Name: "x", Blocks: []Block{{Insts: []isa.Inst{
+				{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: 1},
+			}}}},
+			"falls off",
+		},
+		{
+			"branch in final block",
+			Program{Name: "x", Blocks: []Block{{Insts: []isa.Inst{
+				{Op: isa.OpBeq, Rs1: 0, Rs2: 0, Target: 0},
+			}}}},
+			"fall-through",
+		},
+		{
+			"bad register",
+			Program{Name: "x", Blocks: []Block{{Insts: []isa.Inst{
+				{Op: isa.OpAdd, Rd: 200, Rs1: 1, Rs2: 1},
+				{Op: isa.OpHalt},
+			}}}},
+			"bad dest",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.p.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+func TestSegments(t *testing.T) {
+	b := NewBuilder("segs")
+	w := b.Words("w", []int64{1, -2, 3})
+	f := b.Floats("f", []float64{1.5})
+	z := b.Zeros("z", 100)
+	raw := b.Bytes("raw", []byte{0xaa, 0xbb})
+	b.Label("entry")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 4 {
+		t.Fatalf("want 4 segments, got %d", len(p.Segments))
+	}
+	// All bases 64-byte aligned, non-overlapping, within MemSize.
+	for i, s := range p.Segments {
+		if s.Base%64 != 0 {
+			t.Errorf("segment %d base %d not aligned", i, s.Base)
+		}
+		if s.Base+uint64(len(s.Data)) > p.MemSize {
+			t.Errorf("segment %d exceeds MemSize", i)
+		}
+		for j := 0; j < i; j++ {
+			o := p.Segments[j]
+			if s.Base < o.Base+uint64(len(o.Data)) && o.Base < s.Base+uint64(len(s.Data)) {
+				t.Errorf("segments %d and %d overlap", i, j)
+			}
+		}
+	}
+	_ = w
+	_ = f
+	_ = z
+	_ = raw
+}
+
+func TestPatchSegment(t *testing.T) {
+	b := NewBuilder("patch")
+	b.Zeros("s", 8)
+	b.PatchSegment("s", []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	b.Label("entry")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Segments[0].Data[0] != 1 || p.Segments[0].Data[7] != 8 {
+		t.Fatal("patch did not take")
+	}
+}
+
+func TestInstAddrUniqueAndOrdered(t *testing.T) {
+	b := NewBuilder("addr")
+	b.Label("a")
+	b.Li(isa.IntReg(1), 1)
+	b.Li(isa.IntReg(2), 2)
+	b.Label("b")
+	b.Halt()
+	p := b.MustBuild()
+	a0 := p.InstAddr(0, 0)
+	a1 := p.InstAddr(0, 1)
+	b0 := p.InstAddr(1, 0)
+	if a1 != a0+8 || b0 != a1+8 {
+		t.Fatalf("addresses not contiguous: %d %d %d", a0, a1, b0)
+	}
+	if a0 < p.MemSize {
+		t.Fatal("text addresses must not alias data addresses")
+	}
+}
+
+func TestDisassembleContainsLabels(t *testing.T) {
+	p := small(t)
+	d := p.Disassemble()
+	for _, want := range []string{".B0", ".B1", "entry", "exit", "halt", "lui r1, 5"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}

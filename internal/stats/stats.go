@@ -1,0 +1,137 @@
+// Package stats provides the statistical measures the paper's evaluation
+// uses: Pearson's linear correlation coefficient (Figure 4), configuration
+// rankings (Figure 5), and the relative-error metric RE_X of Section 5.2.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns Pearson's linear correlation coefficient between x and
+// y: R = S_XY / (S_X · S_Y).
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 points, have %d", len(x))
+	}
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Rank returns the rank of each value in vals, where the smallest value
+// has rank 1. Ties receive their average rank.
+func Rank(vals []float64) []float64 {
+	type iv struct {
+		i int
+		v float64
+	}
+	order := make([]iv, len(vals))
+	for i, v := range vals {
+		order[i] = iv{i, v}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].v < order[b].v })
+	ranks := make([]float64, len(vals))
+	for i := 0; i < len(order); {
+		j := i
+		for j+1 < len(order) && order[j+1].v == order[i].v {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[order[k].i] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman is the rank correlation coefficient.
+func Spearman(x, y []float64) (float64, error) {
+	return Pearson(Rank(x), Rank(y))
+}
+
+// RelativeError implements RE_X of Section 5.2: the error of the clone's
+// predicted change when moving from design point Y (base) to X, relative
+// to the real benchmark's change:
+//
+//	RE_X = | (M_XS/M_YS) - (M_XR/M_YR) | / (M_XR/M_YR)
+//
+// where S is the synthetic clone and R the real benchmark.
+func RelativeError(baseReal, xReal, baseSyn, xSyn float64) (float64, error) {
+	if baseReal == 0 || baseSyn == 0 || xReal == 0 {
+		return 0, fmt.Errorf("stats: zero metric in relative error")
+	}
+	realRatio := xReal / baseReal
+	synRatio := xSyn / baseSyn
+	return math.Abs(synRatio-realRatio) / realRatio, nil
+}
+
+// AbsRelError is |a-b|/|b| — the absolute error at one design point
+// (Figures 6 and 7).
+func AbsRelError(predicted, actual float64) (float64, error) {
+	if actual == 0 {
+		return 0, fmt.Errorf("stats: zero actual value")
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual), nil
+}
+
+// Mean is the arithmetic mean.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Max returns the maximum value (0 for empty input).
+func Max(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum value (0 for empty input).
+func Min(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil || !almost(r, 1) {
+		t.Fatalf("r=%f err=%v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, neg)
+	if !almost(r, -1) {
+		t.Fatalf("anti-correlated r=%f", r)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Hand-computed example.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 3, 2, 4}
+	// means 2.5; cov terms: (-1.5)(-1.5)+(-0.5)(0.5)+(0.5)(-0.5)+(1.5)(1.5)=4
+	// sxx=syy=5 → r=4/5.
+	r, err := Pearson(x, y)
+	if err != nil || !almost(r, 0.8) {
+		t.Fatalf("r=%f err=%v", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestPearsonInvariances(t *testing.T) {
+	// r is invariant under positive affine transforms of either input.
+	fn := func(raw []float64, scale float64) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.Abs(v) > 1e100 {
+				return true // avoid overflow artifacts, not the property
+			}
+		}
+		if math.IsNaN(scale) || math.Abs(scale) > 1e100 {
+			return true
+		}
+		x := raw
+		y := make([]float64, len(x))
+		for i := range y {
+			y[i] = 3*x[i] + float64(i%2) // correlated with noise
+		}
+		r1, err1 := Pearson(x, y)
+		if err1 != nil {
+			return true // degenerate input
+		}
+		s := math.Abs(scale) + 0.5
+		x2 := make([]float64, len(x))
+		for i := range x2 {
+			x2[i] = s*x[i] + 7
+		}
+		r2, err2 := Pearson(x2, y)
+		if err2 != nil {
+			return true
+		}
+		return math.Abs(r1-r2) < 1e-6 && r1 >= -1-1e-9 && r1 <= 1+1e-9
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRank(t *testing.T) {
+	got := Rank([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks %v want %v", got, want)
+		}
+	}
+	// Ties share the average rank.
+	got = Rank([]float64{5, 5, 1, 9})
+	want = []float64{2.5, 2.5, 1, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie ranks %v want %v", got, want)
+		}
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotonic but non-linear → Spearman 1, Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	s, err := Spearman(x, y)
+	if err != nil || !almost(s, 1) {
+		t.Fatalf("spearman %f err %v", s, err)
+	}
+	p, _ := Pearson(x, y)
+	if p >= 1 {
+		t.Fatalf("pearson %f should be below 1 for non-linear data", p)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	// Real: base 1.0 → 1.5 (1.5x). Clone: base 0.8 → 1.0 (1.25x).
+	// RE = |1.25 - 1.5| / 1.5 = 1/6.
+	re, err := RelativeError(1.0, 1.5, 0.8, 1.0)
+	if err != nil || !almost(re, 1.0/6.0) {
+		t.Fatalf("re=%f err=%v", re, err)
+	}
+	// Perfect trend tracking → 0 even with absolute offset.
+	re, _ = RelativeError(1.0, 2.0, 0.5, 1.0)
+	if !almost(re, 0) {
+		t.Fatalf("offset clone with same ratio: re=%f", re)
+	}
+	if _, err := RelativeError(0, 1, 1, 1); err == nil {
+		t.Error("zero base accepted")
+	}
+}
+
+func TestAbsRelError(t *testing.T) {
+	e, err := AbsRelError(0.9, 1.0)
+	if err != nil || !almost(e, 0.1) {
+		t.Fatalf("e=%f", e)
+	}
+	e, _ = AbsRelError(1.1, 1.0)
+	if !almost(e, 0.1) {
+		t.Fatalf("overshoot e=%f", e)
+	}
+	if _, err := AbsRelError(1, 0); err == nil {
+		t.Error("zero actual accepted")
+	}
+}
+
+func TestMeanMaxMin(t *testing.T) {
+	v := []float64{3, 1, 2}
+	if Mean(v) != 2 || Max(v) != 3 || Min(v) != 1 {
+		t.Fatal("aggregates wrong")
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+}
+
+func TestRankIsPermutationInvariantSize(t *testing.T) {
+	fn := func(vals []float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		r := Rank(vals)
+		if len(r) != len(vals) {
+			return false
+		}
+		// Ranks sum to n(n+1)/2 regardless of ties.
+		var sum float64
+		for _, v := range r {
+			sum += v
+		}
+		n := float64(len(vals))
+		return math.Abs(sum-n*(n+1)/2) < 1e-6
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,593 @@
+package synth
+
+import (
+	"fmt"
+
+	"perfclone/internal/isa"
+	"perfclone/internal/profile"
+	"perfclone/internal/prog"
+)
+
+// maxPoolRegion caps one stream pool's memory region.
+const maxPoolRegion = 4 << 20
+
+// emit performs steps 10-12: assign architected registers so the sampled
+// dependency distances are realized, lay out the stream pools in memory,
+// wrap the planned chain in the big outer loop, and build the runnable
+// program.
+func (g *generator) emit(chain []chainBlock) (*Clone, error) {
+	// Pass 0: count each static op's chain instances, so the pool
+	// pointer can advance by stride × instances per iteration — the
+	// clone's J unrolled copies of a load plus an advance of J·stride
+	// tile memory exactly the way the original's J executions per outer
+	// iteration did.
+	refTotal := make(map[profile.StaticRef]int64)
+	poolInstances := make([]int64, len(g.pools))
+	poolRefs := make([]int64, len(g.pools))
+	for ci := range chain {
+		for _, inst := range chain[ci].insts {
+			if !inst.memOp.IsMem() {
+				continue
+			}
+			pi, ok := g.memPool[inst.memRef]
+			if !ok {
+				continue
+			}
+			if refTotal[inst.memRef] == 0 {
+				poolRefs[pi]++
+			}
+			refTotal[inst.memRef]++
+			poolInstances[pi]++
+		}
+	}
+	for pi, ps := range g.pools {
+		ps.advance = ps.stride
+		if ps.stride != 0 && poolRefs[pi] > 0 {
+			avg := (poolInstances[pi] + poolRefs[pi] - 1) / poolRefs[pi]
+			ps.advance = ps.stride * avg
+		}
+	}
+
+	// Pass 1: displacement assignment for every memory slot. Each ref
+	// keeps its original offset inside its cluster ("array"), and its
+	// instances tile [0, J·stride) wrapped inside the ref's own profiled
+	// footprint, so a pathological (random-stride) op cannot blow the
+	// region up beyond what the original touched.
+	type memSlot struct {
+		pool int
+		disp int64
+	}
+	slots := make(map[[2]int]memSlot) // (chain idx, inst idx) -> slot
+	refInstances := make(map[profile.StaticRef]int64)
+	poolMinD := make([]int64, len(g.pools))
+	poolMaxD := make([]int64, len(g.pools))
+	for ci := range chain {
+		for ii, inst := range chain[ci].insts {
+			if !inst.memOp.IsMem() {
+				continue
+			}
+			pi, ok := g.memPool[inst.memRef]
+			if !ok {
+				continue
+			}
+			m := g.prof.Mem[inst.memRef]
+			base := int64(m.MinAddr - g.clusters[g.pools[pi].cluster].min)
+			span := int64(m.Span())
+			if lim := abs64(g.pools[pi].stride) + 8; span < lim {
+				span = lim
+			}
+			disp := base + (refInstances[inst.memRef]*g.pools[pi].stride)%span
+			refInstances[inst.memRef]++
+			slots[[2]int{ci, ii}] = memSlot{pool: pi, disp: disp}
+			if disp < poolMinD[pi] {
+				poolMinD[pi] = disp
+			}
+			if disp > poolMaxD[pi] {
+				poolMaxD[pi] = disp
+			}
+		}
+	}
+
+	// Memory layout: one region per cluster, shared by its pools, so
+	// refs that walked one data structure in the original share
+	// footprint in the clone. Each pool's pointer starts at the cluster
+	// origin and walks its own span before rewinding.
+	b := prog.NewBuilder(g.prof.Name + "-clone")
+	poolStart := make([]int64, len(g.pools))
+	poolLimit := make([]int64, len(g.pools))
+	poolWalk := make([]int64, len(g.pools))
+	windows := make([]windowPlan, len(g.pools))
+	clLo := make([]int64, len(g.clusters))
+	clHi := make([]int64, len(g.clusters))
+	clUsed := make([]bool, len(g.clusters))
+	for pi, ps := range g.pools {
+		var walk int64
+		// Windowed mode only pays off when the re-walked window spans
+		// several cache lines; smaller windows are re-used inside any
+		// cache regardless, and the plain sweep tracks better.
+		if ps.rewalkK >= 2 && ps.advance != 0 && ps.windowBytes >= 256 {
+			// Windowed pool: re-walk each window rewalkK times, then
+			// advance to the next (temporal reuse). Parameters are
+			// rounded to powers of two so the per-iteration address
+			// computation is mask/shift arithmetic.
+			w := planWindow(ps)
+			windows[pi] = w
+			walk = int64(w.numWin-1)*w.winBytes + int64(w.winIters-1)*w.adv
+			ps.resetIts = w.winIters * w.kFactor * w.numWin
+		} else {
+			if ps.advance != 0 {
+				ps.resetIts = int(ps.span / uint64(abs64(ps.advance)))
+			}
+			if ps.resetIts < 1 {
+				ps.resetIts = 1
+			}
+			walk = int64(ps.resetIts) * ps.advance
+			for abs64(walk)+poolMaxD[pi]-poolMinD[pi] > maxPoolRegion && ps.resetIts > 1 {
+				ps.resetIts /= 2
+				walk = int64(ps.resetIts) * ps.advance
+			}
+		}
+		poolWalk[pi] = walk
+		lo := poolMinD[pi]
+		hi := poolMaxD[pi]
+		if walk < 0 {
+			lo += walk
+		} else {
+			hi += walk
+		}
+		c := ps.cluster
+		if !clUsed[c] || lo < clLo[c] {
+			clLo[c] = lo
+		}
+		if !clUsed[c] || hi > clHi[c] {
+			clHi[c] = hi
+		}
+		clUsed[c] = true
+	}
+	clOrigin := make([]int64, len(g.clusters))
+	for c := range g.clusters {
+		if !clUsed[c] {
+			continue
+		}
+		region := uint64(clHi[c]-clLo[c]) + 16 + 64
+		base := b.Zeros(fmt.Sprintf("cluster%d", c), region)
+		clOrigin[c] = int64(base) - clLo[c]
+	}
+	for pi, ps := range g.pools {
+		poolStart[pi] = clOrigin[ps.cluster]
+		poolLimit[pi] = poolStart[pi] + poolWalk[pi]
+	}
+
+	// Iteration count: match the profiled dynamic length by default.
+	bodyInsts := 0
+	for ci := range chain {
+		bodyInsts += len(chain[ci].insts) + branchOverhead(chain[ci].brKind) + termInsts(chain[ci].brKind)
+	}
+	bodyInsts += epilogueInsts(g.pools)
+	iters := g.cfg.Iterations
+	if iters <= 0 {
+		iters = int(g.prof.TotalInsts) / bodyInsts
+		if iters < 10 {
+			iters = 10
+		}
+		if cap := 2_000_000 / bodyInsts; iters > cap && cap >= 10 {
+			iters = cap
+		}
+	}
+
+	// Register-history state for dependency-distance realization.
+	ra := newRegAlloc()
+
+	// Init block: loop counter, pool pointers, dependence pools.
+	b.Label("init")
+	b.Li(isa.IntReg(regIter), 0)
+	b.Li(isa.IntReg(regBound), int64(iters))
+	for pi := range g.pools {
+		if windows[pi].active {
+			emitWindowAddr(b, g.pools[pi].reg, windows[pi], poolStart[pi])
+		} else {
+			b.Li(g.pools[pi].reg, poolStart[pi])
+		}
+	}
+	for i := 0; i < intPoolN; i++ {
+		b.Li(isa.IntReg(intPool0+i), int64(i)+3)
+	}
+	for i := 0; i < fpPoolN; i++ {
+		b.Li(isa.IntReg(regScratch), int64(i)+2)
+		b.CvtIF(isa.FPReg(i), isa.IntReg(regScratch))
+	}
+	b.Li(isa.IntReg(regLCG), int64(g.cfg.Seed|1))
+	emitDirRegs(b)
+
+	// The chain (one label per planned block).
+	for ci := range chain {
+		cb := &chain[ci]
+		b.Label(fmt.Sprintf("c%d", ci))
+		for ii := range cb.insts {
+			inst := &cb.insts[ii]
+			if inst.memOp.IsMem() {
+				slot := slots[[2]int{ci, ii}]
+				g.emitMem(b, ra, inst, g.pools[slot.pool].reg, slot.disp)
+			} else {
+				g.emitCompute(b, ra, inst)
+			}
+		}
+		g.emitBranch(b, cb, nextChainLabel(ci, len(chain)))
+	}
+
+	// Epilogue: stream advances/resets, loop back. The iteration counter
+	// is bumped first so windowed pools compute the next iteration's
+	// pointer.
+	b.Label("epilogue")
+	b.Addi(isa.IntReg(regIter), isa.IntReg(regIter), 1)
+	for pi, ps := range g.pools {
+		if windows[pi].active {
+			emitWindowAddr(b, ps.reg, windows[pi], poolStart[pi])
+			continue
+		}
+		if ps.advance == 0 {
+			continue
+		}
+		b.Addi(ps.reg, ps.reg, ps.advance)
+		b.Li(isa.IntReg(regScratch), poolLimit[pi])
+		skip := fmt.Sprintf("skipreset%d", pi)
+		if ps.advance > 0 {
+			b.Blt(ps.reg, isa.IntReg(regScratch), skip)
+		} else {
+			b.Blt(isa.IntReg(regScratch), ps.reg, skip)
+		}
+		b.Label(fmt.Sprintf("reset%d", pi))
+		b.Li(ps.reg, poolStart[pi])
+		b.Label(skip)
+		// Keep the fall-through block non-empty if the next pool emits
+		// nothing (stride 0): a harmless iter copy.
+		b.Mov(isa.IntReg(regScratch), isa.IntReg(regIter))
+	}
+	emitDirRegs(b)
+	b.Blt(isa.IntReg(regIter), isa.IntReg(regBound), "c0")
+	b.Label("done")
+	b.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("synth: emit: %w", err)
+	}
+	pools := make([]StreamPool, len(g.pools))
+	for pi, ps := range g.pools {
+		pools[pi] = StreamPool{
+			Stride:      ps.stride,
+			Advance:     ps.advance,
+			ResetIters:  ps.resetIts,
+			Members:     ps.members,
+			RegionBytes: uint64(abs64(int64(ps.resetIts)*ps.advance)) + uint64(poolMaxD[pi]-poolMinD[pi]),
+			Reg:         ps.reg,
+		}
+	}
+	return &Clone{
+		Program:       p,
+		Pools:         pools,
+		BodyInsts:     bodyInsts,
+		Iterations:    iters,
+		SourceProfile: g.prof.Name,
+	}, nil
+}
+
+// windowPlan holds the power-of-two parameters of one windowed pool's
+// address computation:
+//
+//	ptr = start + ((iter >> log2(winIters·kFactor)) & (numWin-1))·winBytes
+//	            + (iter & (winIters-1))·adv
+type windowPlan struct {
+	active   bool
+	adv      int64 // positive per-iteration step inside a window
+	winIters int   // iterations per window pass (power of two)
+	kFactor  int   // window re-walk count (power of two)
+	numWin   int   // windows before wrapping (power of two)
+	winBytes int64
+}
+
+// planWindow derives a pool's window plan from its reuse parameters.
+func planWindow(ps *poolState) windowPlan {
+	adv := abs64(ps.advance)
+	wb := ps.windowBytes
+	if wb < adv {
+		wb = adv
+	}
+	wi := pow2Ceil(int(wb / adv))
+	k := pow2Ceil(ps.rewalkK)
+	nw := pow2Ceil(int(int64(ps.span) / wb))
+	if nw < 1 {
+		nw = 1
+	}
+	for int64(nw)*wb > maxPoolRegion && nw > 1 {
+		nw /= 2
+	}
+	return windowPlan{active: true, adv: adv, winIters: wi, kFactor: k, numWin: nw, winBytes: wb}
+}
+
+func pow2Ceil(v int) int {
+	if v < 1 {
+		return 1
+	}
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+func log2int(v int) int64 {
+	n := int64(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// emitWindowAddr computes a windowed pool's pointer for the current
+// iteration (called from both the init block and the epilogue).
+func emitWindowAddr(b *prog.Builder, reg isa.Reg, w windowPlan, start int64) {
+	iter := isa.IntReg(regIter)
+	s := isa.IntReg(regScratch)
+	s2 := isa.IntReg(regScratch2)
+	// Window index × window size.
+	b.Li(s, log2int(w.winIters*w.kFactor))
+	b.Shr(reg, iter, s)
+	b.Li(s, int64(w.numWin-1))
+	b.And(reg, reg, s)
+	b.Li(s, w.winBytes)
+	b.Mul(reg, reg, s)
+	// Intra-window offset.
+	b.Li(s, int64(w.winIters-1))
+	b.And(s2, iter, s)
+	b.Li(s, w.adv)
+	b.Mul(s2, s2, s)
+	b.Add(reg, reg, s2)
+	b.Li(s, start)
+	b.Add(reg, reg, s)
+}
+
+func nextChainLabel(ci, n int) string {
+	if ci == n-1 {
+		return "epilogue"
+	}
+	return fmt.Sprintf("c%d", ci+1)
+}
+
+// emitDirRegs computes the direction registers for the current value of
+// the iteration counter (run once per loop iteration, in the epilogue,
+// plus once before entry). The LCG register must have been seeded in the
+// init block.
+func emitDirRegs(b *prog.Builder) {
+	iter := isa.IntReg(regIter)
+	scr := isa.IntReg(regScratch)
+	lcg := isa.IntReg(regLCG)
+	// Advance the software PRNG: lcg = lcg*6364136223846793005 +
+	// 1442695040888963407 (Knuth's MMIX constants), then expose its
+	// high 16 bits for the Bernoulli thresholds.
+	b.Li(scr, 6364136223846793005)
+	b.Mul(lcg, lcg, scr)
+	b.Li(scr, 1442695040888963407)
+	b.Add(lcg, lcg, scr)
+	rnd16Ready := false
+	var rnd16 isa.Reg
+	for i, pat := range dirPatterns {
+		dir := isa.IntReg(regDir0 + i)
+		switch pat.kind {
+		case dirToggle:
+			b.Li(scr, 1)
+			b.And(dir, iter, scr)
+		case dirZeroEq:
+			b.Li(scr, pat.param)
+			b.And(dir, iter, scr)
+			b.Li(scr, 1)
+			b.Sltu(dir, dir, scr) // dir = ((iter & mask) == 0)
+		case dirRandom:
+			if !rnd16Ready {
+				// First random pattern's register temporarily holds
+				// the 16-bit random value; it is consumed last.
+				rnd16 = dir
+				b.Li(scr, 43)
+				b.Shr(rnd16, lcg, scr)
+				b.Li(scr, 0xffff)
+				b.And(rnd16, rnd16, scr)
+				rnd16Ready = true
+				continue
+			}
+			b.Li(scr, pat.param)
+			b.Sltu(dir, rnd16, scr)
+		}
+	}
+	// Resolve the deferred first random pattern (its register held the
+	// raw 16-bit value until every other threshold was computed).
+	for i, pat := range dirPatterns {
+		if pat.kind == dirRandom {
+			dir := isa.IntReg(regDir0 + i)
+			b.Li(scr, pat.param)
+			b.Sltu(dir, dir, scr)
+			break
+		}
+	}
+}
+
+// branchOverhead counts the extra instructions a branch kind inserts
+// ahead of the terminator. The direction-register scheme makes every
+// terminator a single instruction, so this is now always zero; the
+// function remains as the single point of truth for block sizing.
+func branchOverhead(k brKind) int {
+	return 0
+}
+
+// termInsts is the terminator's own instruction count (fall-throughs have
+// none).
+func termInsts(k brKind) int {
+	if k == brFall {
+		return 0
+	}
+	return 1
+}
+
+// epilogueInsts estimates the per-iteration loop-maintenance cost:
+// iter++/backedge, direction-register recomputation (~36 instructions),
+// and per-pool stream advance/reset.
+func epilogueInsts(pools []*poolState) int {
+	n := 38
+	for _, ps := range pools {
+		if ps.advance != 0 {
+			n += 5
+		}
+	}
+	return n
+}
+
+// regAlloc realizes sampled dependency distances with round-robin
+// destination allocation over the dependence pools (step 10; the register
+// assignment discipline follows Bell & John).
+type regAlloc struct {
+	intHist []isa.Reg // pool registers in write order, most recent last
+	fpHist  []isa.Reg
+	intNext int
+	fpNext  int
+}
+
+func newRegAlloc() *regAlloc {
+	ra := &regAlloc{}
+	for i := 0; i < intPoolN; i++ {
+		ra.intHist = append(ra.intHist, isa.IntReg(intPool0+i))
+	}
+	for i := 0; i < fpPoolN; i++ {
+		ra.fpHist = append(ra.fpHist, isa.FPReg(i))
+	}
+	return ra
+}
+
+// intSrc returns the integer register written dist producers ago.
+func (ra *regAlloc) intSrc(dist int) isa.Reg {
+	if dist > len(ra.intHist) {
+		dist = len(ra.intHist)
+	}
+	return ra.intHist[len(ra.intHist)-dist]
+}
+
+func (ra *regAlloc) fpSrc(dist int) isa.Reg {
+	if dist > len(ra.fpHist) {
+		dist = len(ra.fpHist)
+	}
+	return ra.fpHist[len(ra.fpHist)-dist]
+}
+
+// intDest allocates the next integer destination and records it.
+func (ra *regAlloc) intDest() isa.Reg {
+	r := isa.IntReg(intPool0 + ra.intNext)
+	ra.intNext = (ra.intNext + 1) % intPoolN
+	ra.intHist = append(ra.intHist, r)
+	if len(ra.intHist) > 4*intPoolN {
+		ra.intHist = ra.intHist[len(ra.intHist)-2*intPoolN:]
+	}
+	return r
+}
+
+func (ra *regAlloc) fpDest() isa.Reg {
+	r := isa.FPReg(ra.fpNext)
+	ra.fpNext = (ra.fpNext + 1) % fpPoolN
+	ra.fpHist = append(ra.fpHist, r)
+	if len(ra.fpHist) > 4*fpPoolN {
+		ra.fpHist = ra.fpHist[len(ra.fpHist)-2*fpPoolN:]
+	}
+	return r
+}
+
+// emitCompute emits one arithmetic instruction of the planned class with
+// sources chosen to honor the sampled dependency distances.
+func (g *generator) emitCompute(b *prog.Builder, ra *regAlloc, inst *chainInst) {
+	switch inst.class {
+	case isa.ClassIntALU:
+		ops := [4]isa.Op{isa.OpAdd, isa.OpXor, isa.OpSub, isa.OpOr}
+		op := ops[g.rng.next()%4]
+		s1 := ra.intSrc(inst.depDist)
+		s2 := ra.intSrc(inst.depDist2)
+		b.Op3(op, ra.intDest(), s1, s2)
+	case isa.ClassIntMul:
+		s1 := ra.intSrc(inst.depDist)
+		s2 := ra.intSrc(inst.depDist2)
+		b.Mul(ra.intDest(), s1, s2)
+	case isa.ClassIntDiv:
+		s1 := ra.intSrc(inst.depDist)
+		s2 := ra.intSrc(inst.depDist2)
+		if g.rng.next()%2 == 0 {
+			b.Div(ra.intDest(), s1, s2)
+		} else {
+			b.Rem(ra.intDest(), s1, s2)
+		}
+	case isa.ClassFPAdd:
+		s1 := ra.fpSrc(inst.depDist)
+		s2 := ra.fpSrc(inst.depDist2)
+		if g.rng.next()%2 == 0 {
+			b.FAdd(ra.fpDest(), s1, s2)
+		} else {
+			b.FSub(ra.fpDest(), s1, s2)
+		}
+	case isa.ClassFPMul:
+		s1 := ra.fpSrc(inst.depDist)
+		s2 := ra.fpSrc(inst.depDist2)
+		b.FMul(ra.fpDest(), s1, s2)
+	case isa.ClassFPDiv:
+		s1 := ra.fpSrc(inst.depDist)
+		s2 := ra.fpSrc(inst.depDist2)
+		b.FDiv(ra.fpDest(), s1, s2)
+	default:
+		// Residual control classes sampled from odd mixes degrade to ALU.
+		s1 := ra.intSrc(inst.depDist)
+		s2 := ra.intSrc(inst.depDist2)
+		b.Add(ra.intDest(), s1, s2)
+	}
+}
+
+// emitMem emits one load or store against its stream pool pointer.
+func (g *generator) emitMem(b *prog.Builder, ra *regAlloc, inst *chainInst, preg isa.Reg, disp int64) {
+	switch inst.memOp {
+	case isa.OpLd:
+		b.Ld(ra.intDest(), preg, disp)
+	case isa.OpLd4:
+		b.Ld4(ra.intDest(), preg, disp)
+	case isa.OpLd1:
+		b.Ld1(ra.intDest(), preg, disp)
+	case isa.OpFLd:
+		b.FLd(ra.fpDest(), preg, disp)
+	case isa.OpSt:
+		b.St(ra.intSrc(inst.depDist), preg, disp)
+	case isa.OpSt4:
+		b.St4(ra.intSrc(inst.depDist), preg, disp)
+	case isa.OpSt1:
+		b.St1(ra.intSrc(inst.depDist), preg, disp)
+	case isa.OpFSt:
+		b.FSt(ra.fpSrc(inst.depDist), preg, disp)
+	}
+}
+
+// emitBranch emits the block terminator realizing the planned transition
+// pattern (step 5). Taken and fall-through both continue to the next
+// chain block, so only the direction bit — the predictability — varies.
+func (g *generator) emitBranch(b *prog.Builder, cb *chainBlock, next string) {
+	switch cb.brKind {
+	case brFall:
+		// The original block fell through; so does the clone's.
+	case brJump:
+		b.Jmp(next)
+	case brAlways:
+		b.Beq(isa.RZero, isa.RZero, next)
+	case brNever:
+		b.Bne(isa.RZero, isa.RZero, next)
+	case brDir:
+		// The direction register carries the periodic wave whose taken
+		// and transition rates match the profiled branch (the paper's
+		// step 5 realized without per-block modulo arithmetic).
+		dir := isa.IntReg(regDir0 + cb.brDirReg)
+		if cb.brInvert {
+			b.Beq(dir, isa.RZero, next)
+		} else {
+			b.Bne(dir, isa.RZero, next)
+		}
+	}
+}

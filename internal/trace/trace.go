@@ -1,0 +1,119 @@
+// Package trace generates synthetic memory address traces directly from a
+// workload profile, without building a full program — the "synthetic
+// memory address trace" alternative Section 3.1.4 mentions. Trace
+// generation applies the same model as the clone generator (per-static-op
+// dominant strides, stream lengths, footprint-bounded walks) and is useful
+// for driving standalone cache studies.
+package trace
+
+import (
+	"fmt"
+
+	"perfclone/internal/cache"
+	"perfclone/internal/profile"
+)
+
+// Ref is one synthetic memory reference.
+type Ref struct {
+	Addr  uint64
+	Write bool
+}
+
+// Generator produces a synthetic reference stream from a profile.
+type Generator struct {
+	walkers []walker
+	// schedule interleaves walkers proportionally to their access
+	// counts.
+	schedule []int
+	pos      int
+}
+
+type walker struct {
+	base    uint64
+	stride  int64
+	span    uint64
+	written bool // store vs load
+	off     int64
+}
+
+// New builds a generator. Each live static memory instruction becomes a
+// stream walker over its own profiled footprint; walkers are scheduled
+// round-robin weighted by dynamic access counts.
+func New(p *profile.Profile) (*Generator, error) {
+	g := &Generator{}
+	var total uint64
+	for _, m := range p.MemList {
+		if m.Count == 0 {
+			continue
+		}
+		span := m.Span()
+		if span < 8 {
+			span = 8
+		}
+		g.walkers = append(g.walkers, walker{
+			base:    m.MinAddr,
+			stride:  m.DominantStride,
+			span:    span,
+			written: m.Op.IsStore(),
+		})
+		total += m.Count
+	}
+	if len(g.walkers) == 0 {
+		return nil, fmt.Errorf("trace: profile %q has no memory instructions", p.Name)
+	}
+	// Weighted schedule of ~1024 slots.
+	const slots = 1024
+	i := 0
+	for _, m := range p.MemList {
+		if m.Count == 0 {
+			continue
+		}
+		n := int(uint64(slots) * m.Count / total)
+		if n == 0 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			g.schedule = append(g.schedule, i)
+		}
+		i++
+	}
+	// Interleave: spread each walker's slots across the schedule by
+	// striding through it.
+	interleaved := make([]int, len(g.schedule))
+	stride := len(g.schedule)/3 + 1
+	for k := range g.schedule {
+		interleaved[k] = g.schedule[(k*stride)%len(g.schedule)]
+	}
+	g.schedule = interleaved
+	return g, nil
+}
+
+// Next returns the next synthetic reference.
+func (g *Generator) Next() Ref {
+	wi := g.schedule[g.pos%len(g.schedule)]
+	g.pos++
+	w := &g.walkers[wi]
+	addr := w.base + uint64(w.off)
+	w.off += w.stride
+	if w.off < 0 || uint64(w.off) >= w.span {
+		w.off = 0 // stream reset: re-walk from the start (step 11)
+	}
+	return Ref{Addr: addr, Write: w.written}
+}
+
+// Replay feeds n synthetic references into a cache and returns its stats.
+func Replay(p *profile.Profile, cfg cache.Config, n int) (cache.Stats, error) {
+	g, err := New(p)
+	if err != nil {
+		return cache.Stats{}, err
+	}
+	c, err := cache.New(cfg)
+	if err != nil {
+		return cache.Stats{}, err
+	}
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		c.Access(r.Addr, r.Write)
+	}
+	return c.Stats(), nil
+}

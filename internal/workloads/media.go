@@ -1,0 +1,312 @@
+package workloads
+
+import (
+	"perfclone/internal/prog"
+)
+
+func init() {
+	register(Workload{Name: "mpeg2dec", Domain: Media, Suite: "MediaBench", Build: buildMpeg2dec})
+	register(Workload{Name: "g721", Domain: Media, Suite: "MediaBench", Build: buildG721})
+}
+
+// buildMpeg2dec mirrors mpeg2decode's motion compensation: for each 16×16
+// macroblock, form the half-pel horizontal prediction from a reference
+// frame, add the coded residual, clamp to 0..255 and store — the byte-wise
+// 2D streaming loop at the core of every video decoder.
+func buildMpeg2dec() *prog.Program {
+	const (
+		w      = 192
+		h      = 128
+		mbSize = 16
+		frames = 3
+	)
+	rnd := newRNG(0x39e6)
+	ref := rnd.bytes(w * h)
+	// Motion vectors per macroblock (bounded so prediction stays in
+	// frame) and residuals per pixel.
+	mbw, mbh := w/mbSize, h/mbSize
+	mvs := make([]int64, 2*mbw*mbh*frames)
+	for i := range mvs {
+		mvs[i] = int64(rnd.intn(9) - 4)
+	}
+	resid := make([]byte, w*h)
+	for i := range resid {
+		resid[i] = byte(rnd.intn(32))
+	}
+
+	b := prog.NewBuilder("mpeg2dec")
+	refB := b.Bytes("ref", ref)
+	mvB := b.Words("mvs", mvs)
+	residB := b.Bytes("resid", resid)
+	outB := b.Zeros("frame", w*h)
+	res := b.Zeros("result", 8)
+
+	const (
+		rRef, rMV, rResid, rOut, rF = 1, 2, 3, 4, 5
+		rMBX, rMBY, rX, rY, rDX     = 6, 7, 8, 9, 10
+		rDY, rT, rU, rP0, rP1       = 11, 12, 13, 14, 15
+		rPred, rSum, rRes, rW2, rC  = 16, 17, 18, 19, 20
+		rMax, rAddr, rOne, rMvIdx   = 21, 22, 23, 24
+		rThree                      = 25
+	)
+
+	b.Label("entry")
+	b.Li(r(rRef), int64(refB))
+	b.Li(r(rMV), int64(mvB))
+	b.Li(r(rResid), int64(residB))
+	b.Li(r(rOut), int64(outB))
+	b.Li(r(rW2), w)
+	b.Li(r(rMax), 255)
+	b.Li(r(rOne), 1)
+	b.Li(r(rThree), 3)
+	b.Li(r(rSum), 0)
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rF), 0)
+
+	b.Label("frameloop")
+	b.Li(r(rMBY), mbSize)
+	b.Label("mbyloop")
+	b.Li(r(rMBX), mbSize)
+	b.Label("mbxloop")
+	// Motion vector index: ((f*mbh + mby/16)*mbw + mbx/16)*2 words.
+	b.Li(r(rT), int64(mbh))
+	b.Mul(r(rMvIdx), r(rF), r(rT))
+	b.Li(r(rT), 4)
+	b.Shr(r(rU), r(rMBY), r(rT))
+	b.Add(r(rMvIdx), r(rMvIdx), r(rU))
+	b.Li(r(rT), int64(mbw))
+	b.Mul(r(rMvIdx), r(rMvIdx), r(rT))
+	b.Li(r(rT), 4)
+	b.Shr(r(rU), r(rMBX), r(rT))
+	b.Add(r(rMvIdx), r(rMvIdx), r(rU))
+	b.Shl(r(rMvIdx), r(rMvIdx), r(rOne))
+	b.Shl(r(rMvIdx), r(rMvIdx), r(rThree))
+	b.Add(r(rMvIdx), r(rMvIdx), r(rMV))
+	b.Ld(r(rDX), r(rMvIdx), 0)
+	b.Ld(r(rDY), r(rMvIdx), 8)
+
+	b.Li(r(rY), 0)
+	b.Label("pixy")
+	b.Li(r(rX), 0)
+	b.Label("pixx")
+	// src = ref[(mby+y+dy)*w + mbx+x+dx], clamped into the frame by
+	// construction of the vectors (|d| ≤ 4, blocks inset by row below).
+	b.Add(r(rT), r(rMBY), r(rY))
+	b.Add(r(rT), r(rT), r(rDY))
+	b.Mul(r(rT), r(rT), r(rW2))
+	b.Add(r(rU), r(rMBX), r(rX))
+	b.Add(r(rU), r(rU), r(rDX))
+	b.Add(r(rT), r(rT), r(rU))
+	b.Add(r(rAddr), r(rT), r(rRef))
+	b.Ld1(r(rP0), r(rAddr), 0)
+	b.Ld1(r(rP1), r(rAddr), 1)
+	// Half-pel average with rounding.
+	b.Add(r(rPred), r(rP0), r(rP1))
+	b.Addi(r(rPred), r(rPred), 1)
+	b.Shr(r(rPred), r(rPred), r(rOne))
+	// Residual add + clamp.
+	b.Add(r(rT), r(rMBY), r(rY))
+	b.Mul(r(rT), r(rT), r(rW2))
+	b.Add(r(rU), r(rMBX), r(rX))
+	b.Add(r(rT), r(rT), r(rU))
+	b.Add(r(rAddr), r(rT), r(rResid))
+	b.Ld1(r(rC), r(rAddr), 0)
+	b.Add(r(rPred), r(rPred), r(rC))
+	b.Bge(r(rMax), r(rPred), "store")
+	b.Label("clamp")
+	b.Mov(r(rPred), r(rMax))
+	b.Label("store")
+	b.Add(r(rT), r(rMBY), r(rY))
+	b.Mul(r(rT), r(rT), r(rW2))
+	b.Add(r(rU), r(rMBX), r(rX))
+	b.Add(r(rT), r(rT), r(rU))
+	b.Add(r(rAddr), r(rT), r(rOut))
+	b.St1(r(rPred), r(rAddr), 0)
+	b.Add(r(rSum), r(rSum), r(rPred))
+	b.Addi(r(rX), r(rX), 1)
+	b.Li(r(rT), mbSize)
+	b.Blt(r(rX), r(rT), "pixx")
+	b.Label("pixynext")
+	b.Addi(r(rY), r(rY), 1)
+	b.Li(r(rT), mbSize)
+	b.Blt(r(rY), r(rT), "pixy")
+
+	b.Label("mbxnext")
+	b.Addi(r(rMBX), r(rMBX), mbSize)
+	// Keep one MB margin right/bottom so half-pel + MV stays in frame.
+	b.Li(r(rT), w-mbSize)
+	b.Blt(r(rMBX), r(rT), "mbxloop")
+	b.Label("mbynext")
+	b.Addi(r(rMBY), r(rMBY), mbSize)
+	b.Li(r(rT), h-mbSize)
+	b.Blt(r(rMBY), r(rT), "mbyloop")
+	b.Label("framenext")
+	b.Addi(r(rF), r(rF), 1)
+	b.Li(r(rT), frames)
+	b.Blt(r(rF), r(rT), "frameloop")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// g721QuanTable is the 4-bit quantizer decision-level table (scaled).
+var g721QuanTable = []int64{-124, 80, 178, 246, 300, 349, 400, 460}
+
+// buildG721 mirrors MediaBench g721's encoder: the ADPCM predictor with
+// two poles and six zeros, log-domain quantization by table scan, and
+// sign-sign LMS coefficient adaptation — shift/multiply arithmetic with
+// branchy table searches and clamps.
+func buildG721() *prog.Program {
+	const nSamples = 9000
+	b := prog.NewBuilder("g721")
+	in := b.Words("speech", adpcmSamplesSeeded(nSamples, 0x672))
+	quanB := b.Words("quantab", g721QuanTable)
+	// Predictor state: b[0..5] zeros, a[0..1] poles, dq history 6,
+	// sr history 2 — all fixed point <<14.
+	stateB := b.Zeros("predstate", 8*16)
+	res := b.Zeros("result", 8)
+
+	const (
+		rIn, rEnd, rSt, rQuan, rS  = 1, 2, 3, 4, 5
+		rSE, rI, rT, rU, rD        = 6, 7, 8, 9, 10
+		rDQ, rY, rSum, rRes, rSign = 11, 12, 13, 14, 15
+		rFourteen, rThree, rCoef   = 16, 17, 18
+		rHist, rMag, rStep, rLim   = 19, 20, 21, 22
+	)
+
+	b.Label("entry")
+	b.Li(r(rIn), int64(in))
+	b.Li(r(rEnd), int64(in)+8*nSamples)
+	b.Li(r(rSt), int64(stateB))
+	b.Li(r(rQuan), int64(quanB))
+	b.Li(r(rFourteen), 14)
+	b.Li(r(rThree), 3)
+	b.Li(r(rSum), 0)
+	b.Li(r(rRes), int64(res))
+
+	b.Label("sample")
+	b.Ld(r(rS), r(rIn), 0)
+
+	// Signal estimate: se = Σ_k b[k]*dq[k] + Σ_j a[j]*sr[j], >>14.
+	// State layout (words): 0..5 b, 6..7 a, 8..13 dq, 14..15 sr.
+	b.Li(r(rSE), 0)
+	b.Li(r(rI), 0)
+	b.Label("zeros")
+	b.Shl(r(rT), r(rI), r(rThree))
+	b.Add(r(rT), r(rT), r(rSt))
+	b.Ld(r(rCoef), r(rT), 0)
+	b.Ld(r(rHist), r(rT), 8*8)
+	b.Mul(r(rU), r(rCoef), r(rHist))
+	b.Sar(r(rU), r(rU), r(rFourteen))
+	b.Add(r(rSE), r(rSE), r(rU))
+	b.Addi(r(rI), r(rI), 1)
+	b.Li(r(rT), 6)
+	b.Blt(r(rI), r(rT), "zeros")
+	b.Label("poles")
+	b.Li(r(rI), 0)
+	b.Label("polesloop")
+	b.Shl(r(rT), r(rI), r(rThree))
+	b.Add(r(rT), r(rT), r(rSt))
+	b.Ld(r(rCoef), r(rT), 6*8)
+	b.Ld(r(rHist), r(rT), 14*8)
+	b.Mul(r(rU), r(rCoef), r(rHist))
+	b.Sar(r(rU), r(rU), r(rFourteen))
+	b.Add(r(rSE), r(rSE), r(rU))
+	b.Addi(r(rI), r(rI), 1)
+	b.Li(r(rT), 2)
+	b.Blt(r(rI), r(rT), "polesloop")
+
+	// Difference and sign/magnitude split.
+	b.Label("diff")
+	b.Sub(r(rD), r(rS), r(rSE))
+	b.Li(r(rSign), 0)
+	b.Bge(r(rD), rz, "quant")
+	b.Label("negd")
+	b.Li(r(rSign), 1)
+	b.Sub(r(rD), rz, r(rD))
+
+	// Table-scan quantization: find first level where mag < table[i]*step.
+	b.Label("quant")
+	b.Mov(r(rMag), r(rD))
+	b.Li(r(rI), 0)
+	b.Li(r(rLim), 8)
+	b.Label("scan")
+	b.Shl(r(rT), r(rI), r(rThree))
+	b.Add(r(rT), r(rT), r(rQuan))
+	b.Ld(r(rStep), r(rT), 0)
+	// Compare mag against level<<4 (fixed scale).
+	b.Li(r(rT), 4)
+	b.Shl(r(rU), r(rStep), r(rT))
+	b.Blt(r(rMag), r(rU), "scandone")
+	b.Label("scannext")
+	b.Addi(r(rI), r(rI), 1)
+	b.Blt(r(rI), r(rLim), "scan")
+	b.Label("scandone")
+	// Reconstructed dq ≈ (level index)² * 16 with sign restored.
+	b.Mul(r(rDQ), r(rI), r(rI))
+	b.Li(r(rT), 4)
+	b.Shl(r(rDQ), r(rDQ), r(rT))
+	b.Beq(r(rSign), rz, "update")
+	b.Label("negdq")
+	b.Sub(r(rDQ), rz, r(rDQ))
+
+	// Sign-sign LMS: b[k] += (sgn(dq)==sgn(dq[k])) ? +16 : -16 with
+	// leak; shift dq history; update sr history with se+dq.
+	b.Label("update")
+	b.Li(r(rI), 0)
+	b.Label("lms")
+	b.Shl(r(rT), r(rI), r(rThree))
+	b.Add(r(rT), r(rT), r(rSt))
+	b.Ld(r(rHist), r(rT), 8*8)
+	b.Ld(r(rCoef), r(rT), 0)
+	// leak: coef -= coef>>8
+	b.Li(r(rU), 8)
+	b.Sar(r(rU), r(rCoef), r(rU))
+	b.Sub(r(rCoef), r(rCoef), r(rU))
+	// sign agreement
+	b.Xor(r(rU), r(rHist), r(rDQ))
+	b.Bge(r(rU), rz, "agree")
+	b.Label("disagree")
+	b.Addi(r(rCoef), r(rCoef), -16)
+	b.Jmp("lmsstore")
+	b.Label("agree")
+	b.Addi(r(rCoef), r(rCoef), 16)
+	b.Label("lmsstore")
+	b.St(r(rCoef), r(rT), 0)
+	b.Addi(r(rI), r(rI), 1)
+	b.Li(r(rU), 6)
+	b.Blt(r(rI), r(rU), "lms")
+
+	// Shift dq history down (dq[5]←dq[4]…dq[0]←new).
+	b.Label("shift")
+	b.Li(r(rI), 5)
+	b.Label("shiftloop")
+	b.Beq(r(rI), rz, "shiftdone")
+	b.Label("shiftbody")
+	b.Shl(r(rT), r(rI), r(rThree))
+	b.Add(r(rT), r(rT), r(rSt))
+	b.Ld(r(rU), r(rT), 8*8-8)
+	b.St(r(rU), r(rT), 8*8)
+	b.Addi(r(rI), r(rI), -1)
+	b.Jmp("shiftloop")
+	b.Label("shiftdone")
+	b.St(r(rDQ), r(rSt), 8*8)
+	// sr history: sr[1]←sr[0], sr[0]←se+dq.
+	b.Ld(r(rU), r(rSt), 14*8)
+	b.St(r(rU), r(rSt), 15*8)
+	b.Add(r(rY), r(rSE), r(rDQ))
+	b.St(r(rY), r(rSt), 14*8)
+
+	b.Label("emit")
+	b.Add(r(rSum), r(rSum), r(rI)) // rI holds 0 here; level folded below
+	b.Add(r(rSum), r(rSum), r(rY))
+	b.Addi(r(rIn), r(rIn), 8)
+	b.Blt(r(rIn), r(rEnd), "sample")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}

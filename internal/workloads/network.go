@@ -1,0 +1,320 @@
+package workloads
+
+import (
+	"encoding/binary"
+
+	"perfclone/internal/prog"
+)
+
+func init() {
+	register(Workload{Name: "dijkstra", Domain: Network, Suite: "MiBench", Build: buildDijkstra})
+	register(Workload{Name: "patricia", Domain: Network, Suite: "MiBench", Build: buildPatricia})
+}
+
+// buildDijkstra mirrors MiBench dijkstra: single-source shortest paths on a
+// dense adjacency matrix with a linear min-scan, run from several sources.
+func buildDijkstra() *prog.Program { return buildDijkstraSized(96) }
+
+func buildDijkstraSized(v int) *prog.Program {
+	const (
+		sources = 4
+		inf     = int64(1) << 60
+	)
+	rnd := newRNG(0xd13)
+	adj := make([]int64, v*v)
+	for i := range adj {
+		// Sparse-ish graph: ~25% of edges present.
+		if rnd.intn(4) == 0 {
+			adj[i] = int64(1 + rnd.intn(1000))
+		} else {
+			adj[i] = inf
+		}
+	}
+	for i := 0; i < v; i++ {
+		adj[i*v+i] = 0
+	}
+
+	b := prog.NewBuilder("dijkstra")
+	adjB := b.Words("adj", adj)
+	dist := b.Zeros("dist", uint64(8*v))
+	seen := b.Zeros("seen", uint64(8*v))
+	res := b.Zeros("result", 8)
+
+	const (
+		rAdj, rDist, rSeen, rI, rJ = 1, 2, 3, 4, 5
+		rBest, rBestI, rT, rU, rV2 = 6, 7, 8, 9, 10
+		rN, rInf, rSum, rRes, rSrc = 11, 12, 13, 14, 15
+		rRow, rD, rW, rThree, rCnt = 16, 17, 18, 19, 20
+	)
+
+	b.Label("entry")
+	b.Li(r(rAdj), int64(adjB))
+	b.Li(r(rDist), int64(dist))
+	b.Li(r(rSeen), int64(seen))
+	b.Li(r(rN), int64(v*8))
+	b.Li(r(rInf), inf)
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rSum), 0)
+	b.Li(r(rThree), 3)
+	b.Li(r(rSrc), 0)
+
+	// Per-source initialization.
+	b.Label("srcloop")
+	b.Li(r(rI), 0)
+	b.Label("initloop")
+	b.Add(r(rT), r(rDist), r(rI))
+	b.St(r(rInf), r(rT), 0)
+	b.Add(r(rT), r(rSeen), r(rI))
+	b.St(rz, r(rT), 0)
+	b.Addi(r(rI), r(rI), 8)
+	b.Blt(r(rI), r(rN), "initloop")
+	b.Label("initsrc")
+	b.Shl(r(rT), r(rSrc), r(rThree))
+	b.Add(r(rT), r(rT), r(rDist))
+	b.St(rz, r(rT), 0)
+	b.Li(r(rCnt), 0)
+
+	// Main loop: v iterations of min-scan + relax.
+	b.Label("iter")
+	// Min-scan over unvisited.
+	b.Li(r(rBest), 0)
+	b.Add(r(rBest), r(rBest), r(rInf)) // best = inf
+	b.Li(r(rBestI), -1)
+	b.Li(r(rI), 0)
+	b.Label("scan")
+	b.Add(r(rT), r(rSeen), r(rI))
+	b.Ld(r(rU), r(rT), 0)
+	b.Bne(r(rU), rz, "scannext")
+	b.Label("scanck")
+	b.Add(r(rT), r(rDist), r(rI))
+	b.Ld(r(rD), r(rT), 0)
+	b.Bge(r(rD), r(rBest), "scannext")
+	b.Label("scantake")
+	b.Mov(r(rBest), r(rD))
+	b.Mov(r(rBestI), r(rI))
+	b.Label("scannext")
+	b.Addi(r(rI), r(rI), 8)
+	b.Blt(r(rI), r(rN), "scan")
+	b.Label("scandone")
+	b.Blt(r(rBestI), rz, "srcdone") // no reachable node left
+
+	// Mark visited; relax row bestI.
+	b.Label("mark")
+	b.Add(r(rT), r(rSeen), r(rBestI))
+	b.Li(r(rU), 1)
+	b.St(r(rU), r(rT), 0)
+	// rRow = adj + (bestI/8)*v*8 = adj + bestI*v (bestI is a byte offset)
+	b.Li(r(rT), int64(v))
+	b.Mul(r(rRow), r(rBestI), r(rT))
+	b.Add(r(rRow), r(rRow), r(rAdj))
+	b.Li(r(rJ), 0)
+	b.Label("relax")
+	b.Add(r(rT), r(rRow), r(rJ))
+	b.Ld(r(rW), r(rT), 0)
+	b.Bge(r(rW), r(rInf), "relaxnext")
+	b.Label("relaxck")
+	b.Add(r(rV2), r(rBest), r(rW))
+	b.Add(r(rT), r(rDist), r(rJ))
+	b.Ld(r(rD), r(rT), 0)
+	b.Bge(r(rV2), r(rD), "relaxnext")
+	b.Label("relaxtake")
+	b.St(r(rV2), r(rT), 0)
+	b.Label("relaxnext")
+	b.Addi(r(rJ), r(rJ), 8)
+	b.Blt(r(rJ), r(rN), "relax")
+	b.Label("iternext")
+	b.Addi(r(rCnt), r(rCnt), 1)
+	b.Li(r(rT), int64(v))
+	b.Blt(r(rCnt), r(rT), "iter")
+
+	// Accumulate reachable distances into the checksum.
+	b.Label("srcdone")
+	b.Li(r(rI), 0)
+	b.Label("sumloop")
+	b.Add(r(rT), r(rDist), r(rI))
+	b.Ld(r(rD), r(rT), 0)
+	b.Bge(r(rD), r(rInf), "sumskip")
+	b.Label("sumadd")
+	b.Add(r(rSum), r(rSum), r(rD))
+	b.Label("sumskip")
+	b.Addi(r(rI), r(rI), 8)
+	b.Blt(r(rI), r(rN), "sumloop")
+
+	b.Label("srcnext")
+	b.Addi(r(rSrc), r(rSrc), 1)
+	b.Li(r(rT), sources)
+	b.Blt(r(rSrc), r(rT), "srcloop")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// critNode is a crit-bit tree node used to prebuild the patricia trie.
+type critNode struct {
+	bit         int // bit index tested (0 = MSB); -1 for leaf
+	left, right int // child node indices
+	key         uint32
+}
+
+// critInsert inserts key into the crit-bit tree rooted at root, returning
+// the new root. Nodes live in *nodes.
+func critInsert(nodes *[]critNode, root int, key uint32) int {
+	if root < 0 {
+		*nodes = append(*nodes, critNode{bit: -1, key: key})
+		return len(*nodes) - 1
+	}
+	// Walk to the leaf this key would reach.
+	n := root
+	for (*nodes)[n].bit >= 0 {
+		if key&(1<<(31-uint((*nodes)[n].bit))) != 0 {
+			n = (*nodes)[n].right
+		} else {
+			n = (*nodes)[n].left
+		}
+	}
+	leafKey := (*nodes)[n].key
+	if leafKey == key {
+		return root
+	}
+	// First differing bit.
+	diff := leafKey ^ key
+	bit := 0
+	for diff&(1<<31) == 0 {
+		diff <<= 1
+		bit++
+	}
+	// New leaf + internal node spliced at the right depth.
+	*nodes = append(*nodes, critNode{bit: -1, key: key})
+	leaf := len(*nodes) - 1
+	// Find splice point: descend while tested bit < bit.
+	n = root
+	parent, fromRight := -1, false
+	for (*nodes)[n].bit >= 0 && (*nodes)[n].bit < bit {
+		parent = n
+		if key&(1<<(31-uint((*nodes)[n].bit))) != 0 {
+			n = (*nodes)[n].right
+			fromRight = true
+		} else {
+			n = (*nodes)[n].left
+			fromRight = false
+		}
+	}
+	inner := critNode{bit: bit}
+	if key&(1<<(31-uint(bit))) != 0 {
+		inner.left, inner.right = n, leaf
+	} else {
+		inner.left, inner.right = leaf, n
+	}
+	*nodes = append(*nodes, inner)
+	in := len(*nodes) - 1
+	if parent < 0 {
+		return in
+	}
+	if fromRight {
+		(*nodes)[parent].right = in
+	} else {
+		(*nodes)[parent].left = in
+	}
+	return root
+}
+
+// buildPatricia mirrors MiBench patricia: longest-prefix-style lookups in a
+// crit-bit (PATRICIA) trie of IPv4-like addresses. The trie is pre-built
+// and the kernel performs the pointer-chasing lookups — the access pattern
+// the paper calls out as hard for a stride model (Section 6).
+func buildPatricia() *prog.Program {
+	const (
+		nKeys    = 1024
+		nQueries = 6000
+	)
+	rnd := newRNG(0x9a7)
+	var nodes []critNode
+	root := -1
+	keys := make([]uint32, 0, nKeys)
+	for len(keys) < nKeys {
+		k := uint32(rnd.next())
+		root = critInsert(&nodes, root, k)
+		keys = append(keys, k)
+	}
+	// Node layout in memory: 32 bytes = bit(8) | left(8) | right(8) | key(8).
+	// bit == -1 marks a leaf. Child fields hold absolute addresses once the
+	// base is known; store indices first, then fix up.
+	queries := make([]int64, nQueries)
+	hits := 0
+	for i := range queries {
+		if rnd.intn(2) == 0 {
+			queries[i] = int64(keys[rnd.intn(len(keys))])
+			hits++
+		} else {
+			queries[i] = int64(uint32(rnd.next()))
+		}
+	}
+
+	b := prog.NewBuilder("patricia")
+	nodeBytes := make([]byte, 32*len(nodes))
+	nodeBase := b.Bytes("trie", nodeBytes)
+	for i, nd := range nodes {
+		off := 32 * i
+		binary.LittleEndian.PutUint64(nodeBytes[off:], uint64(nd.bit))
+		binary.LittleEndian.PutUint64(nodeBytes[off+8:], nodeBase+uint64(32*nd.left))
+		binary.LittleEndian.PutUint64(nodeBytes[off+16:], nodeBase+uint64(32*nd.right))
+		binary.LittleEndian.PutUint64(nodeBytes[off+24:], uint64(nd.key))
+	}
+	// Bytes copied the pre-fixup contents; install the pointer-patched
+	// version now that the base address is known.
+	b.PatchSegment("trie", nodeBytes)
+	qB := b.Words("queries", queries)
+	res := b.Zeros("result", 8)
+
+	const (
+		rQ, rQEnd, rKey, rNode, rBit = 1, 2, 3, 4, 5
+		rT, rU, rCnt, rRes, rRoot    = 6, 7, 8, 9, 10
+		r31, rOne                    = 11, 12
+	)
+
+	b.Label("entry")
+	b.Li(r(rQ), int64(qB))
+	b.Li(r(rQEnd), int64(qB)+8*nQueries)
+	b.Li(r(rRoot), int64(nodeBase)+int64(32*root))
+	b.Li(r(rCnt), 0)
+	b.Li(r(rRes), int64(res))
+	b.Li(r(r31), 31)
+	b.Li(r(rOne), 1)
+
+	b.Label("qloop")
+	b.Ld(r(rKey), r(rQ), 0)
+	b.Mov(r(rNode), r(rRoot))
+
+	// Descend: while node.bit >= 0, go left/right on the tested key bit.
+	b.Label("walk")
+	b.Ld(r(rBit), r(rNode), 0)
+	b.Blt(r(rBit), rz, "leaf")
+	b.Label("step")
+	// t = (key >> (31-bit)) & 1
+	b.Sub(r(rT), r(r31), r(rBit))
+	b.Shr(r(rT), r(rKey), r(rT))
+	b.And(r(rT), r(rT), r(rOne))
+	b.Beq(r(rT), rz, "goleft")
+	b.Label("goright")
+	b.Ld(r(rNode), r(rNode), 16)
+	b.Jmp("walk")
+	b.Label("goleft")
+	b.Ld(r(rNode), r(rNode), 8)
+	b.Jmp("walk")
+
+	b.Label("leaf")
+	b.Ld(r(rU), r(rNode), 24)
+	b.Bne(r(rU), r(rKey), "miss")
+	b.Label("hit")
+	b.Addi(r(rCnt), r(rCnt), 1)
+	b.Label("miss")
+	b.Addi(r(rQ), r(rQ), 8)
+	b.Blt(r(rQ), r(rQEnd), "qloop")
+
+	b.Label("finish")
+	b.St(r(rCnt), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,417 @@
+package workloads
+
+import (
+	"encoding/binary"
+
+	"perfclone/internal/prog"
+)
+
+func init() {
+	register(Workload{Name: "stringsearch", Domain: Office, Suite: "MiBench", Build: buildStringsearch})
+	register(Workload{Name: "ispell", Domain: Office, Suite: "MiBench", Build: buildIspell})
+	register(Workload{Name: "rsynth", Domain: Office, Suite: "MiBench", Build: buildRsynth})
+}
+
+// buildStringsearch mirrors MiBench stringsearch: Boyer-Moore-Horspool
+// search of many patterns over a text, including per-pattern skip-table
+// construction.
+func buildStringsearch() *prog.Program {
+	const (
+		textLen     = 16 * 1024
+		numPatterns = 24
+		maxPat      = 16
+	)
+	rnd := newRNG(0x57a5)
+	text := rnd.asciiText(textLen)
+	// Patterns: half sampled from the text (guaranteed hits), half random.
+	pats := make([][]byte, numPatterns)
+	for i := range pats {
+		plen := 4 + rnd.intn(9)
+		if i%2 == 0 {
+			off := rnd.intn(textLen - plen)
+			pats[i] = append([]byte(nil), text[off:off+plen]...)
+		} else {
+			pats[i] = rnd.asciiText(plen)
+		}
+	}
+	// Pattern table: numPatterns rows of [len(8) | chars(maxPat)].
+	patBytes := make([]byte, numPatterns*(8+maxPat))
+	for i, p := range pats {
+		off := i * (8 + maxPat)
+		binary.LittleEndian.PutUint64(patBytes[off:], uint64(len(p)))
+		copy(patBytes[off+8:], p)
+	}
+
+	b := prog.NewBuilder("stringsearch")
+	textB := b.Bytes("text", text)
+	patB := b.Bytes("patterns", patBytes)
+	skipB := b.Zeros("skiptab", 8*256)
+	res := b.Zeros("result", 8)
+
+	const (
+		rText, rPat, rSkip, rP, rPLen = 1, 2, 3, 4, 5
+		rI, rJ, rT, rU, rC            = 6, 7, 8, 9, 10
+		rPos, rEnd, rCnt, rRes, rRow  = 11, 12, 13, 14, 15
+		rThree, rLast, rTC, rPC       = 16, 17, 18, 19
+	)
+
+	b.Label("entry")
+	b.Li(r(rText), int64(textB))
+	b.Li(r(rSkip), int64(skipB))
+	b.Li(r(rCnt), 0)
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rThree), 3)
+	b.Li(r(rP), 0)
+
+	b.Label("patloop")
+	// rRow = patterns + p*(8+maxPat)
+	b.Li(r(rT), 8+maxPat)
+	b.Mul(r(rRow), r(rP), r(rT))
+	b.Li(r(rT), int64(patB))
+	b.Add(r(rRow), r(rRow), r(rT))
+	b.Ld(r(rPLen), r(rRow), 0)
+
+	// Build skip table: skip[c] = plen for all c, then skip[p[j]] =
+	// plen-1-j for j < plen-1.
+	b.Li(r(rI), 0)
+	b.Label("skipinit")
+	b.Shl(r(rT), r(rI), r(rThree))
+	b.Add(r(rT), r(rT), r(rSkip))
+	b.St(r(rPLen), r(rT), 0)
+	b.Addi(r(rI), r(rI), 1)
+	b.Li(r(rT), 256)
+	b.Blt(r(rI), r(rT), "skipinit")
+	b.Label("skipfill")
+	b.Li(r(rJ), 0)
+	b.Addi(r(rLast), r(rPLen), -1)
+	b.Label("skipfillloop")
+	b.Bge(r(rJ), r(rLast), "search")
+	b.Label("skipfillbody")
+	b.Add(r(rT), r(rRow), r(rJ))
+	b.Ld1(r(rC), r(rT), 8)
+	b.Shl(r(rT), r(rC), r(rThree))
+	b.Add(r(rT), r(rT), r(rSkip))
+	b.Sub(r(rU), r(rLast), r(rJ))
+	b.St(r(rU), r(rT), 0)
+	b.Addi(r(rJ), r(rJ), 1)
+	b.Jmp("skipfillloop")
+
+	// Horspool scan.
+	b.Label("search")
+	b.Li(r(rPos), 0)
+	b.Li(r(rEnd), textLen)
+	b.Sub(r(rEnd), r(rEnd), r(rPLen))
+	b.Label("scan")
+	b.Bge(r(rPos), r(rEnd), "patnext")
+	b.Label("cmp")
+	// Compare pattern right-to-left.
+	b.Addi(r(rJ), r(rPLen), -1)
+	b.Label("cmploop")
+	b.Blt(r(rJ), rz, "match")
+	b.Label("cmpbody")
+	b.Add(r(rT), r(rPos), r(rJ))
+	b.Add(r(rT), r(rT), r(rText))
+	b.Ld1(r(rTC), r(rT), 0)
+	b.Add(r(rT), r(rRow), r(rJ))
+	b.Ld1(r(rPC), r(rT), 8)
+	b.Bne(r(rTC), r(rPC), "mismatch")
+	b.Label("cmpnext")
+	b.Addi(r(rJ), r(rJ), -1)
+	b.Jmp("cmploop")
+	b.Label("match")
+	b.Addi(r(rCnt), r(rCnt), 1)
+	b.Addi(r(rPos), r(rPos), 1)
+	b.Jmp("scan")
+	b.Label("mismatch")
+	// Advance by skip[text[pos+plen-1]].
+	b.Add(r(rT), r(rPos), r(rPLen))
+	b.Add(r(rT), r(rT), r(rText))
+	b.Ld1(r(rC), r(rT), -1)
+	b.Shl(r(rT), r(rC), r(rThree))
+	b.Add(r(rT), r(rT), r(rSkip))
+	b.Ld(r(rU), r(rT), 0)
+	b.Add(r(rPos), r(rPos), r(rU))
+	b.Jmp("scan")
+
+	b.Label("patnext")
+	b.Addi(r(rP), r(rP), 1)
+	b.Li(r(rT), numPatterns)
+	b.Blt(r(rP), r(rT), "patloop")
+
+	b.Label("finish")
+	b.St(r(rCnt), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// ispellNodeSize is the dictionary node layout size: next(8) len(8)
+// chars(16).
+const ispellNodeSize = 32
+
+// djb2 hashes a word the way the kernel does.
+func djb2(w []byte) uint64 {
+	h := uint64(5381)
+	for _, c := range w {
+		h = h*33 + uint64(c)
+	}
+	return h
+}
+
+// buildIspell mirrors MiBench ispell's hot loop: hash-table dictionary
+// lookups with chained buckets — string hashing plus linked-list probing.
+func buildIspell() *prog.Program {
+	const (
+		dictWords = 4096
+		buckets   = 1024
+		queries   = 4000
+		maxWord   = 16
+	)
+	rnd := newRNG(0x15be1)
+	dict := make([][]byte, dictWords)
+	seen := map[string]bool{}
+	for i := range dict {
+		for {
+			w := rnd.asciiText(3 + rnd.intn(10))
+			for j, c := range w {
+				if c == ' ' {
+					w[j] = 'z'
+				}
+			}
+			if !seen[string(w)] {
+				seen[string(w)] = true
+				dict[i] = w
+				break
+			}
+		}
+	}
+
+	b := prog.NewBuilder("ispell")
+	// Node pool and bucket heads; heads hold absolute node addresses
+	// (0 = empty), so patch after allocation.
+	nodePool := b.Zeros("nodes", dictWords*ispellNodeSize)
+	headsB := b.Zeros("buckets", 8*buckets)
+	nodes := make([]byte, dictWords*ispellNodeSize)
+	heads := make([]byte, 8*buckets)
+	for i, w := range dict {
+		bkt := djb2(w) % buckets
+		off := i * ispellNodeSize
+		prev := binary.LittleEndian.Uint64(heads[8*bkt:])
+		binary.LittleEndian.PutUint64(nodes[off:], prev)
+		binary.LittleEndian.PutUint64(nodes[off+8:], uint64(len(w)))
+		copy(nodes[off+16:off+16+maxWord], w)
+		binary.LittleEndian.PutUint64(heads[8*bkt:], nodePool+uint64(off))
+	}
+	b.PatchSegment("nodes", nodes)
+	b.PatchSegment("buckets", heads)
+
+	// Query stream: [len(8) | chars(16)] rows; half dictionary words,
+	// half misspellings.
+	qBytes := make([]byte, queries*(8+maxWord))
+	for i := 0; i < queries; i++ {
+		var w []byte
+		if i%2 == 0 {
+			w = dict[rnd.intn(dictWords)]
+		} else {
+			w = rnd.asciiText(3 + rnd.intn(10))
+			for j, c := range w {
+				if c == ' ' {
+					w[j] = 'q'
+				}
+			}
+		}
+		off := i * (8 + maxWord)
+		binary.LittleEndian.PutUint64(qBytes[off:], uint64(len(w)))
+		copy(qBytes[off+8:], w)
+	}
+	qB := b.Bytes("queries", qBytes)
+	res := b.Zeros("result", 8)
+
+	const (
+		rQ, rQEnd, rLen, rH, rI    = 1, 2, 3, 4, 5
+		rC, rT, rU, rNode, rHeads  = 6, 7, 8, 9, 10
+		rMask, rThree, r33, rFound = 11, 12, 13, 14
+		rRes, rNLen, rJ, rQC, rNC  = 15, 16, 17, 18, 19
+	)
+
+	b.Label("entry")
+	b.Li(r(rQ), int64(qB))
+	b.Li(r(rQEnd), int64(qB)+queries*(8+maxWord))
+	b.Li(r(rHeads), int64(headsB))
+	b.Li(r(rMask), buckets-1)
+	b.Li(r(rThree), 3)
+	b.Li(r(r33), 33)
+	b.Li(r(rFound), 0)
+	b.Li(r(rRes), int64(res))
+
+	b.Label("qloop")
+	b.Ld(r(rLen), r(rQ), 0)
+	// djb2 hash over the word bytes.
+	b.Li(r(rH), 5381)
+	b.Li(r(rI), 0)
+	b.Label("hash")
+	b.Add(r(rT), r(rQ), r(rI))
+	b.Ld1(r(rC), r(rT), 8)
+	b.Mul(r(rH), r(rH), r(r33))
+	b.Add(r(rH), r(rH), r(rC))
+	b.Addi(r(rI), r(rI), 1)
+	b.Blt(r(rI), r(rLen), "hash")
+	b.Label("probe")
+	b.And(r(rT), r(rH), r(rMask))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rHeads))
+	b.Ld(r(rNode), r(rT), 0)
+
+	// Walk the chain.
+	b.Label("chain")
+	b.Beq(r(rNode), rz, "qnext")
+	b.Label("chainlen")
+	b.Ld(r(rNLen), r(rNode), 8)
+	b.Bne(r(rNLen), r(rLen), "chainnext")
+	b.Label("chaincmp")
+	b.Li(r(rJ), 0)
+	b.Label("cmploop")
+	b.Bge(r(rJ), r(rLen), "hit")
+	b.Label("cmpbody")
+	b.Add(r(rT), r(rQ), r(rJ))
+	b.Ld1(r(rQC), r(rT), 8)
+	b.Add(r(rT), r(rNode), r(rJ))
+	b.Ld1(r(rNC), r(rT), 16)
+	b.Bne(r(rQC), r(rNC), "chainnext")
+	b.Label("cmpadv")
+	b.Addi(r(rJ), r(rJ), 1)
+	b.Jmp("cmploop")
+	b.Label("hit")
+	b.Addi(r(rFound), r(rFound), 1)
+	b.Jmp("qnext")
+	b.Label("chainnext")
+	b.Ld(r(rNode), r(rNode), 0)
+	b.Jmp("chain")
+
+	b.Label("qnext")
+	b.Addi(r(rQ), r(rQ), 8+maxWord)
+	b.Blt(r(rQ), r(rQEnd), "qloop")
+
+	b.Label("finish")
+	b.St(r(rFound), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildRsynth mirrors MiBench rsynth: formant speech synthesis as a
+// cascade of second-order IIR resonators driven by an impulse train plus
+// noise — a floating-point filter pipeline with serial dependences.
+func buildRsynth() *prog.Program {
+	const (
+		nSamples   = 9000
+		resonators = 4
+	)
+	rnd := newRNG(0x4537)
+	// Excitation: glottal impulse train + aspiration noise.
+	excite := make([]float64, nSamples)
+	for i := range excite {
+		if i%80 == 0 {
+			excite[i] = 1.0
+		}
+		excite[i] += 0.05 * (rnd.float01() - 0.5)
+	}
+	// Biquad coefficients per resonator (a, b, c): classic Klatt
+	// resonator parameterization, stable poles.
+	coef := make([]float64, 0, resonators*3)
+	freqs := []float64{0.07, 0.17, 0.29, 0.41} // normalized formants
+	for _, fr := range freqs {
+		bw := 0.02
+		r := 1 - 3.14159*bw
+		c := -(r * r)
+		bq := 2 * r * cosApprox(2*3.14159*fr)
+		a := 1 - bq - c
+		coef = append(coef, a, bq, c)
+	}
+
+	b := prog.NewBuilder("rsynth")
+	exB := b.Floats("excite", excite)
+	coefB := b.Floats("coef", coef)
+	outB := b.Zeros("audio", 8*nSamples)
+	stateB := b.Zeros("state", 8*2*resonators)
+	res := b.Zeros("result", 8)
+
+	const (
+		rIn, rEnd, rOut, rCo, rSt = 1, 2, 3, 4, 5
+		rK, rT, rRes, rNRes       = 6, 7, 8, 9
+		rRow, rSRow               = 10, 11
+		fX, fY, fA, fB, fC        = 0, 1, 2, 3, 4
+		fY1, fY2, fT, fU, fAcc    = 5, 6, 7, 8, 9
+		fScale                    = 10
+	)
+
+	b.Label("entry")
+	b.Li(r(rIn), int64(exB))
+	b.Li(r(rEnd), int64(exB)+8*nSamples)
+	b.Li(r(rOut), int64(outB))
+	b.Li(r(rCo), int64(coefB))
+	b.Li(r(rSt), int64(stateB))
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rNRes), resonators)
+	b.Li(r(rT), 0)
+	b.CvtIF(f(fAcc), r(rT))
+	b.Li(r(rT), 1000)
+	b.CvtIF(f(fScale), r(rT))
+
+	b.Label("sample")
+	b.FLd(f(fX), r(rIn), 0)
+	b.Li(r(rK), 0)
+
+	// Cascade through the resonators: x := a*x + b*y1 + c*y2.
+	b.Label("cascade")
+	b.Li(r(rT), 24)
+	b.Mul(r(rRow), r(rK), r(rT))
+	b.Add(r(rRow), r(rRow), r(rCo))
+	b.FLd(f(fA), r(rRow), 0)
+	b.FLd(f(fB), r(rRow), 8)
+	b.FLd(f(fC), r(rRow), 16)
+	b.Li(r(rT), 16)
+	b.Mul(r(rSRow), r(rK), r(rT))
+	b.Add(r(rSRow), r(rSRow), r(rSt))
+	b.FLd(f(fY1), r(rSRow), 0)
+	b.FLd(f(fY2), r(rSRow), 8)
+	b.FMul(f(fY), f(fA), f(fX))
+	b.FMul(f(fT), f(fB), f(fY1))
+	b.FAdd(f(fY), f(fY), f(fT))
+	b.FMul(f(fU), f(fC), f(fY2))
+	b.FAdd(f(fY), f(fY), f(fU))
+	b.FSt(f(fY1), r(rSRow), 8)  // y2 = y1
+	b.FSt(f(fY), r(rSRow), 0)   // y1 = y
+	b.FAdd(f(fX), f(fY), f(fY)) // feed 2*y forward (gain makeup)
+	b.Addi(r(rK), r(rK), 1)
+	b.Blt(r(rK), r(rNRes), "cascade")
+
+	b.Label("emit")
+	b.FSt(f(fX), r(rOut), 0)
+	b.FMul(f(fT), f(fX), f(fX))
+	b.FAdd(f(fAcc), f(fAcc), f(fT))
+	b.Addi(r(rIn), r(rIn), 8)
+	b.Addi(r(rOut), r(rOut), 8)
+	b.Blt(r(rIn), r(rEnd), "sample")
+
+	b.Label("finish")
+	b.FMul(f(fAcc), f(fAcc), f(fScale))
+	b.CvtFI(r(rT), f(fAcc))
+	b.St(r(rT), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// cosApprox is a small Taylor-series cosine used only at build time for
+// coefficient generation (keeps the package free of math imports beyond
+// encoding/binary in this file).
+func cosApprox(x float64) float64 {
+	// Range-reduce to [-pi, pi].
+	const pi = 3.141592653589793
+	for x > pi {
+		x -= 2 * pi
+	}
+	for x < -pi {
+		x += 2 * pi
+	}
+	x2 := x * x
+	return 1 - x2/2 + x2*x2/24 - x2*x2*x2/720 + x2*x2*x2*x2/40320
+}

@@ -1,0 +1,511 @@
+package workloads
+
+// Reference mirrors for the office, security, consumer and media kernels
+// (continuation of reference_test.go).
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestStringsearchReference(t *testing.T) {
+	p, got := runKernel(t, "stringsearch")
+	text := segment(t, p, "text")
+	pats := segment(t, p, "patterns")
+	const (
+		textLen     = 16 * 1024
+		numPatterns = 24
+		maxPat      = 16
+	)
+	var want int64
+	for pi := 0; pi < numPatterns; pi++ {
+		row := pats[pi*(8+maxPat):]
+		plen := int(binary.LittleEndian.Uint64(row))
+		pat := row[8 : 8+plen]
+		// Horspool skip table, mirroring the kernel.
+		var skip [256]int
+		for i := range skip {
+			skip[i] = plen
+		}
+		for j := 0; j < plen-1; j++ {
+			skip[pat[j]] = plen - 1 - j
+		}
+		end := textLen - plen
+		for pos := 0; pos < end; {
+			match := true
+			for j := plen - 1; j >= 0; j-- {
+				if text[pos+j] != pat[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				want++
+				pos++
+				continue
+			}
+			pos += skip[text[pos+plen-1]]
+		}
+	}
+	if got != want {
+		t.Fatalf("match count: got %d want %d", got, want)
+	}
+}
+
+func TestIspellReference(t *testing.T) {
+	p, got := runKernel(t, "ispell")
+	nodes := segment(t, p, "nodes")
+	heads := segment(t, p, "buckets")
+	queries := segment(t, p, "queries")
+	const (
+		buckets = 1024
+		nq      = 4000
+		maxWord = 16
+	)
+	var nodeBase uint64
+	for _, s := range p.Segments {
+		if s.Name == "nodes" {
+			nodeBase = s.Base
+		}
+	}
+	lookup := func(word []byte) bool {
+		bkt := djb2(word) % buckets
+		addr := binary.LittleEndian.Uint64(heads[8*bkt:])
+		for addr != 0 {
+			off := addr - nodeBase
+			next := binary.LittleEndian.Uint64(nodes[off:])
+			nlen := binary.LittleEndian.Uint64(nodes[off+8:])
+			if int(nlen) == len(word) {
+				match := true
+				for j := range word {
+					if nodes[off+16+uint64(j)] != word[j] {
+						match = false
+						break
+					}
+				}
+				if match {
+					return true
+				}
+			}
+			addr = next
+		}
+		return false
+	}
+	var want int64
+	for i := 0; i < nq; i++ {
+		row := queries[i*(8+maxWord):]
+		wlen := int(binary.LittleEndian.Uint64(row))
+		if lookup(row[8 : 8+wlen]) {
+			want++
+		}
+	}
+	if got != want {
+		t.Fatalf("found count: got %d want %d", got, want)
+	}
+	// The query mix guarantees at least the dictionary-word half hits.
+	if want < 2000 {
+		t.Fatalf("suspicious hit count %d: dictionary half should always hit", want)
+	}
+}
+
+func TestRsynthReference(t *testing.T) {
+	p, got := runKernel(t, "rsynth")
+	excite := segFloats(t, p, "excite")
+	coef := segFloats(t, p, "coef")
+	const resonators = 4
+	var state [resonators][2]float64
+	var acc float64
+	for _, x := range excite {
+		for k := 0; k < resonators; k++ {
+			a, bq, c := coef[3*k], coef[3*k+1], coef[3*k+2]
+			y := a*x + bq*state[k][0] + c*state[k][1]
+			state[k][1] = state[k][0]
+			state[k][0] = y
+			x = y + y
+		}
+		acc += x * x
+	}
+	want := int64(acc * 1000)
+	if got != want {
+		t.Fatalf("energy checksum: got %d want %d", got, want)
+	}
+}
+
+func TestSHAReference(t *testing.T) {
+	p, got := runKernel(t, "sha")
+	msg := segWords(t, p, "message")
+	const blocks = 96
+	mask := uint64(0xffffffff)
+	rol := func(v uint64, n uint) uint64 {
+		return (v<<n | v>>(32-n)) & mask
+	}
+	h := [5]uint64{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0}
+	var w [80]uint64
+	for blk := 0; blk < blocks; blk++ {
+		for i := 0; i < 16; i++ {
+			w[i] = uint64(msg[blk*16+i])
+		}
+		for i := 16; i < 80; i++ {
+			w[i] = rol(w[i-3]^w[i-8]^w[i-14]^w[i-16], 1)
+		}
+		a, b, c, d, e := h[0], h[1], h[2], h[3], h[4]
+		for i := 0; i < 80; i++ {
+			var f, k uint64
+			switch {
+			case i < 20:
+				f = (b & c) | ((b ^ mask) & d)
+				k = 0x5a827999
+			case i < 40:
+				f = b ^ c ^ d
+				k = 0x6ed9eba1
+			case i < 60:
+				f = (b & c) | (b & d) | (c & d)
+				k = 0x8f1bbcdc
+			default:
+				f = b ^ c ^ d
+				k = 0xca62c1d6
+			}
+			tmp := (rol(a, 5) + f + e + k + w[i]) & mask
+			e, d, c, b, a = d, c, rol(b, 30), a, tmp
+		}
+		h[0] = (h[0] + a) & mask
+		h[1] = (h[1] + b) & mask
+		h[2] = (h[2] + c) & mask
+		h[3] = (h[3] + d) & mask
+		h[4] = (h[4] + e) & mask
+	}
+	want := int64(h[0] ^ h[1] ^ h[2] ^ h[3] ^ h[4])
+	if got != want {
+		t.Fatalf("SHA checksum: got %#x want %#x", got, want)
+	}
+}
+
+func TestBlowfishReference(t *testing.T) {
+	p, got := runKernel(t, "blowfish")
+	sbox := segWords(t, p, "sbox")
+	parr := segWords(t, p, "parr")
+	data := segWords(t, p, "data")
+	const nBlocks = 640
+	mask := int64(0xffffffff)
+	feistel := func(l int64) int64 {
+		a := (l >> 24) & 0xff
+		b := (l >> 16) & 0xff
+		c := (l >> 8) & 0xff
+		d := l & 0xff
+		x := sbox[a] + sbox[256+b]
+		x ^= sbox[512+c]
+		x += sbox[768+d]
+		return x & mask
+	}
+	var want int64
+	for blk := 0; blk < nBlocks; blk++ {
+		l, r := data[2*blk], data[2*blk+1]
+		for round := 0; round < 16; round++ {
+			l ^= parr[round]
+			r ^= feistel(l)
+			l, r = r, l
+		}
+		l, r = r, l
+		r ^= parr[16]
+		l ^= parr[17]
+		want += l + r
+	}
+	if got != want {
+		t.Fatalf("blowfish checksum: got %d want %d", got, want)
+	}
+}
+
+func TestRijndaelReference(t *testing.T) {
+	p, got := runKernel(t, "rijndael")
+	tt := segWords(t, p, "ttables")
+	rk := segWords(t, p, "roundkeys")
+	state := segWords(t, p, "state")
+	const (
+		nBlocks = 360
+		rounds  = 10
+	)
+	var want int64
+	for blk := 0; blk < nBlocks; blk++ {
+		var s [4]int64
+		for w := 0; w < 4; w++ {
+			s[w] = state[4*blk+w] ^ rk[w]
+		}
+		for round := 1; round < rounds; round++ {
+			var n [4]int64
+			for w := 0; w < 4; w++ {
+				n[w] = tt[(s[w]>>24)&0xff]
+				n[w] ^= tt[256+((s[(w+1)%4]>>16)&0xff)]
+				n[w] ^= tt[512+((s[(w+2)%4]>>8)&0xff)]
+				n[w] ^= tt[768+(s[(w+3)%4]&0xff)]
+				n[w] ^= rk[4*round+w]
+			}
+			s = n
+		}
+		want += s[0] + s[3]
+	}
+	if got != want {
+		t.Fatalf("rijndael checksum: got %d want %d", got, want)
+	}
+}
+
+func TestPGPReference(t *testing.T) {
+	p, got := runKernel(t, "pgp")
+	nums := segWords(t, p, "operands")
+	const (
+		limbs = 28
+		pairs = 44
+	)
+	mask := int64(0xffffffff)
+	var want int64
+	for pair := 0; pair < pairs; pair++ {
+		a := nums[pair*2*limbs : pair*2*limbs+limbs]
+		b := nums[pair*2*limbs+limbs : pair*2*limbs+2*limbs]
+		prod := make([]int64, 2*limbs)
+		for i := 0; i < limbs; i++ {
+			var carry int64
+			for j := 0; j < limbs; j++ {
+				v := prod[i+j] + a[i]*b[j] + carry
+				carry = int64(uint64(v) >> 32)
+				prod[i+j] = v & mask
+			}
+			prod[i+limbs] += carry
+		}
+		for i, v := range prod {
+			want ^= v
+			want += int64(8 * i)
+		}
+	}
+	if got != want {
+		t.Fatalf("pgp checksum: got %d want %d", got, want)
+	}
+}
+
+func TestJPEGReference(t *testing.T) {
+	p, got := runKernel(t, "jpeg")
+	img := segment(t, p, "image")
+	basis := segFloats(t, p, "basis")
+	const (
+		w = 96
+		h = 96
+	)
+	var want int64
+	var tmp [64]float64
+	for by := 0; by < h; by += 8 {
+		for bx := 0; bx < w; bx += 8 {
+			for y := 0; y < 8; y++ {
+				for u := 0; u < 8; u++ {
+					var acc float64
+					for x := 0; x < 8; x++ {
+						pix := float64(int64(img[(by+y)*w+bx+x]) - 128)
+						acc += basis[u*8+x] * pix
+					}
+					tmp[y*8+u] = acc
+				}
+			}
+			for v := 0; v < 8; v++ {
+				for u := 0; u < 8; u++ {
+					var acc float64
+					for y := 0; y < 8; y++ {
+						acc += basis[v*8+y] * tmp[y*8+u]
+					}
+					coef := int64(acc) / jpegQTable[v*8+u]
+					want += coef
+				}
+			}
+		}
+	}
+	if got != want {
+		t.Fatalf("jpeg checksum: got %d want %d", got, want)
+	}
+}
+
+func TestLameReference(t *testing.T) {
+	p, got := runKernel(t, "lame")
+	pcm := segFloats(t, p, "pcm")
+	window := segFloats(t, p, "window")
+	basis := segFloats(t, p, "basis")
+	const (
+		frame = 128
+		hop   = 64
+		bands = 24
+	)
+	numFrames := (len(pcm)-frame)/hop + 1
+	var want int64
+	for f := 0; f < numFrames; f++ {
+		for k := 0; k < bands; k++ {
+			var acc float64
+			for i := 0; i < frame; i++ {
+				acc += pcm[f*hop+i] * window[i] * basis[k*frame+i]
+			}
+			want += int64(acc * acc)
+		}
+	}
+	if got != want {
+		t.Fatalf("lame checksum: got %d want %d", got, want)
+	}
+}
+
+func TestMadReference(t *testing.T) {
+	p, got := runKernel(t, "mad")
+	in := segWords(t, p, "input")
+	coef := segWords(t, p, "fircoef")
+	const (
+		taps    = 16
+		winSize = 1024
+	)
+	win := make([]int64, winSize)
+	var want int64
+	for i := range in {
+		win[i&(winSize-1)] = in[i]
+		var acc int64
+		for k := 0; k < taps; k++ {
+			idx := (int64(i) - int64(k)) & (winSize - 1)
+			acc += (win[idx] * coef[k]) >> 15
+		}
+		want += acc
+	}
+	if got != want {
+		t.Fatalf("mad checksum: got %d want %d", got, want)
+	}
+}
+
+func TestTypesetReference(t *testing.T) {
+	p, got := runKernel(t, "typeset")
+	widths := segWords(t, p, "widths")
+	const (
+		n         = 1600
+		lineWidth = 60
+	)
+	big := int64(1) << 50
+	dp := make([]int64, n+1)
+	br := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		dp[i] = big
+	}
+	for i := 1; i <= n; i++ {
+		best, bestJ := big, int64(0)
+		length := int64(0)
+		for j := i - 1; j >= 0; j-- {
+			length += widths[j]
+			if j+1 != i {
+				length++
+			}
+			if length > lineWidth {
+				break
+			}
+			slack := lineWidth - length
+			cost := dp[j] + slack*slack*slack
+			if cost < best {
+				best, bestJ = cost, int64(j)
+			}
+		}
+		dp[i] = best
+		br[i] = bestJ
+	}
+	var want int64
+	for i := int64(n); i != 0; i = br[i] {
+		want += i
+	}
+	want += dp[n]
+	if got != want {
+		t.Fatalf("typeset checksum: got %d want %d", got, want)
+	}
+}
+
+func TestMpeg2decReference(t *testing.T) {
+	p, got := runKernel(t, "mpeg2dec")
+	ref := segment(t, p, "ref")
+	mvs := segWords(t, p, "mvs")
+	resid := segment(t, p, "resid")
+	const (
+		w      = 192
+		h      = 128
+		mb     = 16
+		frames = 3
+	)
+	mbw, mbh := w/mb, h/mb
+	var want int64
+	for f := 0; f < frames; f++ {
+		for mby := mb; mby < h-mb; mby += mb {
+			for mbx := mb; mbx < w-mb; mbx += mb {
+				idx := ((f*mbh+mby/16)*mbw + mbx/16) * 2
+				dx, dy := mvs[idx], mvs[idx+1]
+				for y := 0; y < mb; y++ {
+					for x := 0; x < mb; x++ {
+						src := (int64(mby+y)+dy)*w + int64(mbx+x) + dx
+						p0 := int64(ref[src])
+						p1 := int64(ref[src+1])
+						pred := int64(uint64(p0+p1+1) >> 1)
+						pred += int64(resid[(mby+y)*w+mbx+x])
+						if pred > 255 {
+							pred = 255
+						}
+						want += pred
+					}
+				}
+			}
+		}
+	}
+	if got != want {
+		t.Fatalf("mpeg2dec checksum: got %d want %d", got, want)
+	}
+}
+
+func TestG721Reference(t *testing.T) {
+	p, got := runKernel(t, "g721")
+	in := segWords(t, p, "speech")
+	quan := segWords(t, p, "quantab")
+	var (
+		bcoef [6]int64
+		dq    [6]int64
+		acoef [2]int64
+		sr    [2]int64
+	)
+	var want int64
+	for _, s := range in {
+		var se int64
+		for k := 0; k < 6; k++ {
+			se += (bcoef[k] * dq[k]) >> 14
+		}
+		for j := 0; j < 2; j++ {
+			se += (acoef[j] * sr[j]) >> 14
+		}
+		d := s - se
+		sign := int64(0)
+		if d < 0 {
+			sign = 1
+			d = -d
+		}
+		i := int64(0)
+		for ; i < 8; i++ {
+			if d < quan[i]<<4 {
+				break
+			}
+		}
+		dqv := i * i << 4
+		if sign != 0 {
+			dqv = -dqv
+		}
+		for k := 0; k < 6; k++ {
+			c := bcoef[k]
+			c -= c >> 8
+			if dq[k]^dqv < 0 {
+				c -= 16
+			} else {
+				c += 16
+			}
+			bcoef[k] = c
+		}
+		for k := 5; k > 0; k-- {
+			dq[k] = dq[k-1]
+		}
+		dq[0] = dqv
+		sr[1] = sr[0]
+		y := se + dqv
+		sr[0] = y
+		want += y
+	}
+	if got != want {
+		t.Fatalf("g721 checksum: got %d want %d", got, want)
+	}
+}

@@ -1,0 +1,580 @@
+package workloads
+
+import (
+	"perfclone/internal/prog"
+)
+
+func init() {
+	register(Workload{Name: "sha", Domain: Security, Suite: "MiBench", Build: buildSHA})
+	register(Workload{Name: "blowfish", Domain: Security, Suite: "MiBench", Build: buildBlowfish})
+	register(Workload{Name: "rijndael", Domain: Security, Suite: "MiBench", Build: buildRijndael})
+	register(Workload{Name: "pgp", Domain: Security, Suite: "MiBench", Build: buildPGP})
+}
+
+// buildSHA mirrors MiBench sha: the SHA-1 compression function over a
+// multi-block message — message-schedule expansion plus the four 20-round
+// groups, dominated by 32-bit rotates (shift/shift/or) and adds.
+func buildSHA() *prog.Program {
+	const blocks = 96 // 6 KB message
+	rnd := newRNG(0x5a1)
+	// Message laid out as 32-bit big-endian-ish words, one per 64-bit
+	// slot for simple addressing.
+	msg := rnd.words(blocks*16, 1<<32)
+
+	b := prog.NewBuilder("sha")
+	msgB := b.Words("message", msg)
+	wB := b.Zeros("schedule", 8*80)
+	res := b.Zeros("result", 8)
+
+	const (
+		rMsg, rW, rBlk, rI, rT    = 1, 2, 3, 4, 5
+		rU, rV, rA, rB2, rC       = 6, 7, 8, 9, 10
+		rD, rE, rF, rK, rTmp      = 11, 12, 13, 14, 15
+		rH0, rH1, rH2, rH3, rH4   = 16, 17, 18, 19, 20
+		rMask, rThree, rRes, rEnd = 21, 22, 23, 24
+		rS, rNS, rRot             = 25, 26, 27
+	)
+
+	// rol emits dst = rotl32(src, n), using rRot and rU as scratch (it
+	// must not touch rTmp: callers rotate while rTmp holds live state).
+	rol := func(dst, src int, n int64) {
+		b.Li(r(rS), n)
+		b.Shl(r(rRot), r(src), r(rS))
+		b.Li(r(rNS), 32-n)
+		b.Shr(r(rU), r(src), r(rNS))
+		b.Or(r(dst), r(rRot), r(rU))
+		b.And(r(dst), r(dst), r(rMask))
+	}
+
+	b.Label("entry")
+	b.Li(r(rMsg), int64(msgB))
+	b.Li(r(rW), int64(wB))
+	b.Li(r(rMask), 0xffffffff)
+	b.Li(r(rThree), 3)
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rH0), 0x67452301)
+	b.Li(r(rH1), 0xefcdab89)
+	b.Li(r(rH2), 0x98badcfe)
+	b.Li(r(rH3), 0x10325476)
+	b.Li(r(rH4), 0xc3d2e1f0)
+	b.Li(r(rBlk), 0)
+
+	b.Label("blockloop")
+	// Copy 16 message words into W.
+	b.Li(r(rI), 0)
+	b.Label("wcopy")
+	b.Li(r(rT), 16*8)
+	b.Mul(r(rT), r(rBlk), r(rT))
+	b.Add(r(rT), r(rT), r(rI))
+	b.Add(r(rT), r(rT), r(rMsg))
+	b.Ld(r(rV), r(rT), 0)
+	b.Add(r(rT), r(rW), r(rI))
+	b.St(r(rV), r(rT), 0)
+	b.Addi(r(rI), r(rI), 8)
+	b.Li(r(rT), 16*8)
+	b.Blt(r(rI), r(rT), "wcopy")
+
+	// Expand W[16..79]: w = rotl1(w[i-3]^w[i-8]^w[i-14]^w[i-16]).
+	b.Label("wexpand")
+	b.Add(r(rT), r(rW), r(rI))
+	b.Ld(r(rV), r(rT), -3*8)
+	b.Ld(r(rU), r(rT), -8*8)
+	b.Xor(r(rV), r(rV), r(rU))
+	b.Ld(r(rU), r(rT), -14*8)
+	b.Xor(r(rV), r(rV), r(rU))
+	b.Ld(r(rU), r(rT), -16*8)
+	b.Xor(r(rV), r(rV), r(rU))
+	rol(rV, rV, 1)
+	b.St(r(rV), r(rT), 0)
+	b.Addi(r(rI), r(rI), 8)
+	b.Li(r(rT), 80*8)
+	b.Blt(r(rI), r(rT), "wexpand")
+
+	// Initialize working registers.
+	b.Label("rounds")
+	b.Mov(r(rA), r(rH0))
+	b.Mov(r(rB2), r(rH1))
+	b.Mov(r(rC), r(rH2))
+	b.Mov(r(rD), r(rH3))
+	b.Mov(r(rE), r(rH4))
+
+	// The four round groups, each 20 rounds with its own f and K.
+	type group struct {
+		name string
+		k    int64
+	}
+	groups := []group{{"g0", 0x5a827999}, {"g1", 0x6ed9eba1}, {"g2", 0x8f1bbcdc}, {"g3", 0xca62c1d6}}
+	for gi, g := range groups {
+		b.Li(r(rI), int64(gi*20*8))
+		b.Li(r(rK), g.k)
+		b.Label(g.name)
+		switch gi {
+		case 0: // f = (b & c) | (~b & d)
+			b.And(r(rF), r(rB2), r(rC))
+			b.Xor(r(rT), r(rB2), r(rMask)) // ~b (32-bit)
+			b.And(r(rT), r(rT), r(rD))
+			b.Or(r(rF), r(rF), r(rT))
+		case 2: // f = (b & c) | (b & d) | (c & d)
+			b.And(r(rF), r(rB2), r(rC))
+			b.And(r(rT), r(rB2), r(rD))
+			b.Or(r(rF), r(rF), r(rT))
+			b.And(r(rT), r(rC), r(rD))
+			b.Or(r(rF), r(rF), r(rT))
+		default: // f = b ^ c ^ d
+			b.Xor(r(rF), r(rB2), r(rC))
+			b.Xor(r(rF), r(rF), r(rD))
+		}
+		// tmp = rotl5(a) + f + e + k + w[i]
+		rol(rTmp, rA, 5)
+		b.Add(r(rTmp), r(rTmp), r(rF))
+		b.Add(r(rTmp), r(rTmp), r(rE))
+		b.Add(r(rTmp), r(rTmp), r(rK))
+		b.Add(r(rT), r(rW), r(rI))
+		b.Ld(r(rV), r(rT), 0)
+		b.Add(r(rTmp), r(rTmp), r(rV))
+		b.And(r(rTmp), r(rTmp), r(rMask))
+		// e=d d=c c=rotl30(b) b=a a=tmp
+		b.Mov(r(rE), r(rD))
+		b.Mov(r(rD), r(rC))
+		rol(rC, rB2, 30)
+		b.Mov(r(rB2), r(rA))
+		b.Mov(r(rA), r(rTmp))
+		b.Addi(r(rI), r(rI), 8)
+		b.Li(r(rT), int64((gi+1)*20*8))
+		b.Blt(r(rI), r(rT), g.name)
+		b.Label(g.name + "done")
+	}
+
+	// h += working registers (mod 2^32).
+	b.Add(r(rH0), r(rH0), r(rA))
+	b.And(r(rH0), r(rH0), r(rMask))
+	b.Add(r(rH1), r(rH1), r(rB2))
+	b.And(r(rH1), r(rH1), r(rMask))
+	b.Add(r(rH2), r(rH2), r(rC))
+	b.And(r(rH2), r(rH2), r(rMask))
+	b.Add(r(rH3), r(rH3), r(rD))
+	b.And(r(rH3), r(rH3), r(rMask))
+	b.Add(r(rH4), r(rH4), r(rE))
+	b.And(r(rH4), r(rH4), r(rMask))
+
+	b.Addi(r(rBlk), r(rBlk), 1)
+	b.Li(r(rT), blocks)
+	b.Blt(r(rBlk), r(rT), "blockloop")
+
+	b.Label("finish")
+	b.Xor(r(rT), r(rH0), r(rH1))
+	b.Xor(r(rT), r(rT), r(rH2))
+	b.Xor(r(rT), r(rT), r(rH3))
+	b.Xor(r(rT), r(rT), r(rH4))
+	b.St(r(rT), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildBlowfish mirrors MiBench blowfish: 16-round Feistel encryption in
+// ECB mode with the four S-box lookups and P-array XORs of the real
+// cipher. S-boxes and subkeys are key-schedule products; pseudorandom
+// tables exercise the identical data path.
+func buildBlowfish() *prog.Program {
+	const nBlocks = 640
+	rnd := newRNG(0xb10f)
+	sbox := make([]int64, 4*256)
+	for i := range sbox {
+		sbox[i] = int64(uint32(rnd.next()))
+	}
+	parr := make([]int64, 18)
+	for i := range parr {
+		parr[i] = int64(uint32(rnd.next()))
+	}
+	data := rnd.words(2*nBlocks, 1<<32) // L/R 32-bit halves
+
+	b := prog.NewBuilder("blowfish")
+	sB := b.Words("sbox", sbox)
+	pB := b.Words("parr", parr)
+	dB := b.Words("data", data)
+	res := b.Zeros("result", 8)
+
+	const (
+		rS, rP, rD, rEnd, rL    = 1, 2, 3, 4, 5
+		rR, rT, rU, rV, rX      = 6, 7, 8, 9, 10
+		rRound, rMask, rFF, rB8 = 11, 12, 13, 14
+		rB16, rB24, rSum, rRes  = 15, 16, 17, 18
+		rThree, rIdx            = 19, 20
+	)
+
+	b.Label("entry")
+	b.Li(r(rS), int64(sB))
+	b.Li(r(rP), int64(pB))
+	b.Li(r(rD), int64(dB))
+	b.Li(r(rEnd), int64(dB)+16*nBlocks)
+	b.Li(r(rMask), 0xffffffff)
+	b.Li(r(rFF), 0xff)
+	b.Li(r(rB8), 8)
+	b.Li(r(rB16), 16)
+	b.Li(r(rB24), 24)
+	b.Li(r(rThree), 3)
+	b.Li(r(rSum), 0)
+	b.Li(r(rRes), int64(res))
+
+	b.Label("blockloop")
+	b.Ld(r(rL), r(rD), 0)
+	b.Ld(r(rR), r(rD), 8)
+	b.Li(r(rRound), 0)
+
+	b.Label("round")
+	// L ^= P[round]
+	b.Shl(r(rT), r(rRound), r(rThree))
+	b.Add(r(rT), r(rT), r(rP))
+	b.Ld(r(rU), r(rT), 0)
+	b.Xor(r(rL), r(rL), r(rU))
+	// F(L) = ((S0[a] + S1[b]) ^ S2[c]) + S3[d], a..d = bytes of L.
+	b.Shr(r(rT), r(rL), r(rB24))
+	b.And(r(rT), r(rT), r(rFF))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rS))
+	b.Ld(r(rX), r(rT), 0) // S0[a]
+	b.Shr(r(rT), r(rL), r(rB16))
+	b.And(r(rT), r(rT), r(rFF))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rS))
+	b.Ld(r(rU), r(rT), 256*8) // S1[b]
+	b.Add(r(rX), r(rX), r(rU))
+	b.Shr(r(rT), r(rL), r(rB8))
+	b.And(r(rT), r(rT), r(rFF))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rS))
+	b.Ld(r(rU), r(rT), 512*8) // S2[c]
+	b.Xor(r(rX), r(rX), r(rU))
+	b.And(r(rT), r(rL), r(rFF))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rS))
+	b.Ld(r(rU), r(rT), 768*8) // S3[d]
+	b.Add(r(rX), r(rX), r(rU))
+	b.And(r(rX), r(rX), r(rMask))
+	// R ^= F(L); swap.
+	b.Xor(r(rR), r(rR), r(rX))
+	b.Mov(r(rV), r(rL))
+	b.Mov(r(rL), r(rR))
+	b.Mov(r(rR), r(rV))
+	b.Addi(r(rRound), r(rRound), 1)
+	b.Li(r(rT), 16)
+	b.Blt(r(rRound), r(rT), "round")
+
+	b.Label("final")
+	// Undo last swap; final P XORs.
+	b.Mov(r(rV), r(rL))
+	b.Mov(r(rL), r(rR))
+	b.Mov(r(rR), r(rV))
+	b.Ld(r(rU), r(rP), 16*8)
+	b.Xor(r(rR), r(rR), r(rU))
+	b.Ld(r(rU), r(rP), 17*8)
+	b.Xor(r(rL), r(rL), r(rU))
+	b.St(r(rL), r(rD), 0)
+	b.St(r(rR), r(rD), 8)
+	b.Add(r(rSum), r(rSum), r(rL))
+	b.Add(r(rSum), r(rSum), r(rR))
+	b.Addi(r(rD), r(rD), 16)
+	b.Blt(r(rD), r(rEnd), "blockloop")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// aesSbox computes the real AES S-box (GF(2^8) inverse + affine map).
+func aesSbox() [256]byte {
+	var sbox [256]byte
+	// Multiplicative inverse via exponentiation tables.
+	var exp, log [256]byte
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		exp[i] = x
+		log[x] = byte(i)
+		// x *= 3 in GF(2^8)
+		x ^= (x << 1) ^ mulCond(x)
+	}
+	inv := func(a byte) byte {
+		if a == 0 {
+			return 0
+		}
+		return exp[(255-int(log[a]))%255]
+	}
+	for i := 0; i < 256; i++ {
+		v := inv(byte(i))
+		r := v ^ rotl8(v, 1) ^ rotl8(v, 2) ^ rotl8(v, 3) ^ rotl8(v, 4) ^ 0x63
+		sbox[i] = r
+	}
+	return sbox
+}
+
+func mulCond(x byte) byte {
+	if x&0x80 != 0 {
+		return 0x1b
+	}
+	return 0
+}
+
+func rotl8(x byte, n uint) byte { return x<<n | x>>(8-n) }
+
+// xtime doubles a value in GF(2^8).
+func xtime(x byte) byte { return (x << 1) ^ mulCond(x) }
+
+// buildRijndael mirrors MiBench rijndael: AES-style encryption using the
+// T-table formulation — per round, each output word combines four table
+// lookups indexed by bytes of the state, XORed with a round key.
+func buildRijndael() *prog.Program {
+	const (
+		nBlocks = 360
+		rounds  = 10
+	)
+	rnd := newRNG(0x41e5)
+	sbox := aesSbox()
+	// T0[i] = (2·s, s, s, 3·s) packed into 32 bits; T1..T3 are byte
+	// rotations of T0, as in real AES implementations.
+	t0 := make([]int64, 256)
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		w := uint32(xtime(s))<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(xtime(s)^s)
+		t0[i] = int64(w)
+	}
+	rot := func(tbl []int64, n uint) []int64 {
+		out := make([]int64, 256)
+		for i, v := range tbl {
+			w := uint32(v)
+			out[i] = int64(w>>(8*n) | w<<(32-8*n))
+		}
+		return out
+	}
+	t1, t2, t3 := rot(t0, 1), rot(t0, 2), rot(t0, 3)
+	tall := make([]int64, 0, 4*256)
+	tall = append(tall, t0...)
+	tall = append(tall, t1...)
+	tall = append(tall, t2...)
+	tall = append(tall, t3...)
+	// Round keys: 4 words per round + initial whitening.
+	rk := make([]int64, 4*(rounds+1))
+	for i := range rk {
+		rk[i] = int64(uint32(rnd.next()))
+	}
+	state := rnd.words(4*nBlocks, 1<<32)
+
+	b := prog.NewBuilder("rijndael")
+	tB := b.Words("ttables", tall)
+	rkB := b.Words("roundkeys", rk)
+	stB := b.Words("state", state)
+	res := b.Zeros("result", 8)
+
+	const (
+		rT0, rRK, rSt, rEnd, rS0  = 1, 2, 3, 4, 5
+		rS1, rS2, rS3, rN0, rN1   = 6, 7, 8, 9, 10
+		rN2, rN3, rT, rU, rRound  = 11, 12, 13, 14, 15
+		rFF, rB8, rB16, rB24      = 16, 17, 18, 19
+		rThree, rMask, rSum, rRes = 20, 21, 22, 23
+		rRKP                      = 24
+	)
+
+	b.Label("entry")
+	b.Li(r(rT0), int64(tB))
+	b.Li(r(rRK), int64(rkB))
+	b.Li(r(rSt), int64(stB))
+	b.Li(r(rEnd), int64(stB)+32*nBlocks)
+	b.Li(r(rFF), 0xff)
+	b.Li(r(rB8), 8)
+	b.Li(r(rB16), 16)
+	b.Li(r(rB24), 24)
+	b.Li(r(rThree), 3)
+	b.Li(r(rMask), 0xffffffff)
+	b.Li(r(rSum), 0)
+	b.Li(r(rRes), int64(res))
+
+	b.Label("blockloop")
+	b.Ld(r(rS0), r(rSt), 0)
+	b.Ld(r(rS1), r(rSt), 8)
+	b.Ld(r(rS2), r(rSt), 16)
+	b.Ld(r(rS3), r(rSt), 24)
+	// Whitening.
+	b.Ld(r(rT), r(rRK), 0)
+	b.Xor(r(rS0), r(rS0), r(rT))
+	b.Ld(r(rT), r(rRK), 8)
+	b.Xor(r(rS1), r(rS1), r(rT))
+	b.Ld(r(rT), r(rRK), 16)
+	b.Xor(r(rS2), r(rS2), r(rT))
+	b.Ld(r(rT), r(rRK), 24)
+	b.Xor(r(rS3), r(rS3), r(rT))
+	b.Li(r(rRound), 1)
+
+	b.Label("round")
+	// n0 = T0[s0>>24] ^ T1[(s1>>16)&ff] ^ T2[(s2>>8)&ff] ^ T3[s3&ff] ^ rk
+	// and cyclically for n1..n3. Emit via a Go loop over the 4 words.
+	b.Shl(r(rRKP), r(rRound), r(rThree)) // round*8
+	b.Li(r(rT), 4)
+	b.Mul(r(rRKP), r(rRKP), r(rT)) // round*32
+	b.Add(r(rRKP), r(rRKP), r(rRK))
+	srcs := [4]int{rS0, rS1, rS2, rS3}
+	dsts := [4]int{rN0, rN1, rN2, rN3}
+	for w := 0; w < 4; w++ {
+		// Byte 3 (>>24) from srcs[w] via T0.
+		b.Shr(r(rT), r(srcs[w]), r(rB24))
+		b.And(r(rT), r(rT), r(rFF))
+		b.Shl(r(rT), r(rT), r(rThree))
+		b.Add(r(rT), r(rT), r(rT0))
+		b.Ld(r(dsts[w]), r(rT), 0)
+		// Byte 2 from srcs[(w+1)%4] via T1.
+		b.Shr(r(rT), r(srcs[(w+1)%4]), r(rB16))
+		b.And(r(rT), r(rT), r(rFF))
+		b.Shl(r(rT), r(rT), r(rThree))
+		b.Add(r(rT), r(rT), r(rT0))
+		b.Ld(r(rU), r(rT), 256*8)
+		b.Xor(r(dsts[w]), r(dsts[w]), r(rU))
+		// Byte 1 from srcs[(w+2)%4] via T2.
+		b.Shr(r(rT), r(srcs[(w+2)%4]), r(rB8))
+		b.And(r(rT), r(rT), r(rFF))
+		b.Shl(r(rT), r(rT), r(rThree))
+		b.Add(r(rT), r(rT), r(rT0))
+		b.Ld(r(rU), r(rT), 512*8)
+		b.Xor(r(dsts[w]), r(dsts[w]), r(rU))
+		// Byte 0 from srcs[(w+3)%4] via T3.
+		b.And(r(rT), r(srcs[(w+3)%4]), r(rFF))
+		b.Shl(r(rT), r(rT), r(rThree))
+		b.Add(r(rT), r(rT), r(rT0))
+		b.Ld(r(rU), r(rT), 768*8)
+		b.Xor(r(dsts[w]), r(dsts[w]), r(rU))
+		// Round key.
+		b.Ld(r(rU), r(rRKP), int64(8*w))
+		b.Xor(r(dsts[w]), r(dsts[w]), r(rU))
+	}
+	b.Mov(r(rS0), r(rN0))
+	b.Mov(r(rS1), r(rN1))
+	b.Mov(r(rS2), r(rN2))
+	b.Mov(r(rS3), r(rN3))
+	b.Addi(r(rRound), r(rRound), 1)
+	b.Li(r(rT), rounds)
+	b.Blt(r(rRound), r(rT), "round")
+
+	b.Label("store")
+	b.St(r(rS0), r(rSt), 0)
+	b.St(r(rS1), r(rSt), 8)
+	b.St(r(rS2), r(rSt), 16)
+	b.St(r(rS3), r(rSt), 24)
+	b.Add(r(rSum), r(rSum), r(rS0))
+	b.Add(r(rSum), r(rSum), r(rS3))
+	b.Addi(r(rSt), r(rSt), 32)
+	b.Blt(r(rSt), r(rEnd), "blockloop")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildPGP mirrors PGP's RSA hot loop: schoolbook multiprecision
+// multiplication with carry propagation over 28-limb (896-bit) integers,
+// the multiply-add-carry pattern of every bignum library.
+func buildPGP() *prog.Program {
+	const (
+		limbs = 28
+		pairs = 44
+	)
+	rnd := newRNG(0x969)
+	// Operands: pairs of numbers, 32-bit limbs in 64-bit slots.
+	nums := rnd.words(2*pairs*limbs, 1<<32)
+
+	b := prog.NewBuilder("pgp")
+	numB := b.Words("operands", nums)
+	prodB := b.Zeros("product", 8*2*limbs)
+	res := b.Zeros("result", 8)
+
+	const (
+		rNum, rProd, rPair, rI, rJ = 1, 2, 3, 4, 5
+		rA, rB2, rCar, rT, rU      = 6, 7, 8, 9, 10
+		rV, rAP, rBP, rMask, rSum  = 11, 12, 13, 14, 15
+		rRes, rThree, rB32, rLim   = 16, 17, 18, 19
+		rK                         = 20
+	)
+
+	b.Label("entry")
+	b.Li(r(rNum), int64(numB))
+	b.Li(r(rProd), int64(prodB))
+	b.Li(r(rMask), 0xffffffff)
+	b.Li(r(rThree), 3)
+	b.Li(r(rB32), 32)
+	b.Li(r(rSum), 0)
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rPair), 0)
+
+	b.Label("pairloop")
+	// aP = operands + pair*2*limbs*8; bP = aP + limbs*8.
+	b.Li(r(rT), 2*limbs*8)
+	b.Mul(r(rAP), r(rPair), r(rT))
+	b.Add(r(rAP), r(rAP), r(rNum))
+	b.Addi(r(rBP), r(rAP), limbs*8)
+	// Zero the product.
+	b.Li(r(rI), 0)
+	b.Label("zero")
+	b.Add(r(rT), r(rProd), r(rI))
+	b.St(rz, r(rT), 0)
+	b.Addi(r(rI), r(rI), 8)
+	b.Li(r(rT), 2*limbs*8)
+	b.Blt(r(rI), r(rT), "zero")
+
+	// Schoolbook multiply with carry.
+	b.Label("outer")
+	b.Li(r(rI), 0)
+	b.Jmp("outerck")
+	b.Label("outerbody")
+	b.Add(r(rT), r(rAP), r(rI))
+	b.Ld(r(rA), r(rT), 0)
+	b.Li(r(rCar), 0)
+	b.Li(r(rJ), 0)
+	b.Label("inner")
+	b.Add(r(rT), r(rBP), r(rJ))
+	b.Ld(r(rB2), r(rT), 0)
+	// k = (i+j) byte offset into product.
+	b.Add(r(rK), r(rI), r(rJ))
+	b.Add(r(rT), r(rProd), r(rK))
+	b.Ld(r(rV), r(rT), 0)
+	// v += a*b + carry; split into low 32 + carry.
+	b.Mul(r(rU), r(rA), r(rB2))
+	b.Add(r(rV), r(rV), r(rU))
+	b.Add(r(rV), r(rV), r(rCar))
+	b.Shr(r(rCar), r(rV), r(rB32))
+	b.And(r(rV), r(rV), r(rMask))
+	b.St(r(rV), r(rT), 0)
+	b.Addi(r(rJ), r(rJ), 8)
+	b.Li(r(rT), limbs*8)
+	b.Blt(r(rJ), r(rT), "inner")
+	b.Label("carryout")
+	// prod[i+limbs] += carry.
+	b.Add(r(rK), r(rI), r(rJ))
+	b.Add(r(rT), r(rProd), r(rK))
+	b.Ld(r(rV), r(rT), 0)
+	b.Add(r(rV), r(rV), r(rCar))
+	b.St(r(rV), r(rT), 0)
+	b.Addi(r(rI), r(rI), 8)
+	b.Label("outerck")
+	b.Li(r(rT), limbs*8)
+	b.Blt(r(rI), r(rT), "outerbody")
+
+	// Fold the product into the checksum.
+	b.Label("fold")
+	b.Li(r(rI), 0)
+	b.Li(r(rLim), 2*limbs*8)
+	b.Label("foldloop")
+	b.Add(r(rT), r(rProd), r(rI))
+	b.Ld(r(rV), r(rT), 0)
+	b.Xor(r(rSum), r(rSum), r(rV))
+	b.Add(r(rSum), r(rSum), r(rI))
+	b.Addi(r(rI), r(rI), 8)
+	b.Blt(r(rI), r(rLim), "foldloop")
+
+	b.Label("pairnext")
+	b.Addi(r(rPair), r(rPair), 1)
+	b.Li(r(rT), pairs)
+	b.Blt(r(rPair), r(rT), "pairloop")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}

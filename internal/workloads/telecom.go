@@ -1,0 +1,492 @@
+package workloads
+
+import (
+	"math"
+
+	"perfclone/internal/prog"
+)
+
+func init() {
+	register(Workload{Name: "crc32", Domain: Telecom, Suite: "MiBench", Build: buildCRC32})
+	register(Workload{Name: "fft", Domain: Telecom, Suite: "MiBench", Build: buildFFT})
+	register(Workload{Name: "adpcm", Domain: Telecom, Suite: "MiBench", Build: buildADPCM})
+	register(Workload{Name: "gsm", Domain: Telecom, Suite: "MiBench", Build: buildGSM})
+}
+
+// crcPoly is the reflected CRC-32 (IEEE 802.3) polynomial.
+const crcPoly = 0xedb88320
+
+// crcTable returns the byte-indexed CRC-32 lookup table.
+func crcTable() []int64 {
+	tbl := make([]int64, 256)
+	for i := 0; i < 256; i++ {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = crcPoly ^ (c >> 1)
+			} else {
+				c >>= 1
+			}
+		}
+		tbl[i] = int64(c)
+	}
+	return tbl
+}
+
+// buildCRC32 mirrors MiBench CRC32: the table-driven byte-at-a-time CRC
+// over a file-sized buffer. One sequential byte stream plus a
+// data-dependent table stream.
+func buildCRC32() *prog.Program { return buildCRC32Sized(24 * 1024) }
+
+func buildCRC32Sized(n int) *prog.Program {
+	rnd := newRNG(0xc3c32)
+	b := prog.NewBuilder("crc32")
+	data := b.Bytes("data", rnd.bytes(n))
+	table := b.Words("crctab", crcTable())
+	res := b.Zeros("result", 8)
+
+	const (
+		rPtr, rEnd, rCRC, rByte, rT = 1, 2, 3, 4, 5
+		rTab, rMask, rEight, rRes   = 6, 7, 8, 9
+		rThree, rMask32             = 10, 11
+	)
+
+	b.Label("entry")
+	b.Li(r(rPtr), int64(data))
+	b.Li(r(rEnd), int64(data)+int64(n))
+	b.Li(r(rTab), int64(table))
+	b.Li(r(rCRC), 0xffffffff)
+	b.Li(r(rMask), 0xff)
+	b.Li(r(rEight), 8)
+	b.Li(r(rThree), 3)
+	b.Li(r(rMask32), 0xffffffff)
+	b.Li(r(rRes), int64(res))
+
+	b.Label("loop")
+	b.Ld1(r(rByte), r(rPtr), 0)
+	b.Xor(r(rT), r(rCRC), r(rByte))
+	b.And(r(rT), r(rT), r(rMask))
+	b.Shl(r(rT), r(rT), r(rThree))
+	b.Add(r(rT), r(rT), r(rTab))
+	b.Ld(r(rT), r(rT), 0)
+	b.Shr(r(rCRC), r(rCRC), r(rEight))
+	b.Xor(r(rCRC), r(rCRC), r(rT))
+	b.And(r(rCRC), r(rCRC), r(rMask32))
+	b.Addi(r(rPtr), r(rPtr), 1)
+	b.Blt(r(rPtr), r(rEnd), "loop")
+
+	b.Label("finish")
+	b.Xor(r(rCRC), r(rCRC), r(rMask32))
+	b.St(r(rCRC), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildFFT mirrors MiBench FFT: an iterative radix-2 decimation-in-time
+// FFT over 1024 complex points, bit-reversal permutation included, with a
+// power-spectrum checksum. Its butterflies produce the
+// stage-doubling stride pattern classic of FFTs.
+func buildFFT() *prog.Program { return buildFFTSized(1024) }
+
+// buildFFTSized requires n to be a power of two.
+func buildFFTSized(n int) *prog.Program {
+	rnd := newRNG(0xff7)
+	reIn := make([]float64, n)
+	imIn := make([]float64, n)
+	for i := range reIn {
+		// A few tones plus noise.
+		reIn[i] = math.Sin(2*math.Pi*float64(i)*13/float64(n)) +
+			0.5*math.Sin(2*math.Pi*float64(i)*89/float64(n)) +
+			0.1*(rnd.float01()-0.5)
+		imIn[i] = 0
+	}
+	// Precomputed twiddle tables (the real benchmark calls sin/cos from
+	// libm; our ISA has no transcendental unit, so a table stands in —
+	// real DSP builds do the same).
+	cosT := make([]float64, n/2)
+	sinT := make([]float64, n/2)
+	for i := range cosT {
+		cosT[i] = math.Cos(2 * math.Pi * float64(i) / float64(n))
+		sinT[i] = -math.Sin(2 * math.Pi * float64(i) / float64(n))
+	}
+	// Bit-reversal table as byte offsets.
+	log2n := 0
+	for 1<<log2n < n {
+		log2n++
+	}
+	rev := make([]int64, n)
+	for i := 0; i < n; i++ {
+		j := 0
+		for bit := 0; bit < log2n; bit++ {
+			if i&(1<<bit) != 0 {
+				j |= 1 << (log2n - 1 - bit)
+			}
+		}
+		rev[i] = int64(j) * 8
+	}
+
+	b := prog.NewBuilder("fft")
+	reB := b.Floats("re", reIn)
+	imB := b.Floats("im", imIn)
+	cosB := b.Floats("cos", cosT)
+	sinB := b.Floats("sin", sinT)
+	revB := b.Words("rev", rev)
+	res := b.Zeros("result", 8)
+
+	const (
+		rRe, rIm, rCos, rSin, rRev = 1, 2, 3, 4, 5
+		rI, rJ, rT, rU, rN8        = 6, 7, 8, 9, 10
+		rLen, rHalf, rStep, rK     = 11, 12, 13, 14
+		rA, rB2, rW, rRes, rEight  = 15, 16, 17, 18, 19
+		rLim, rThree               = 20, 21
+		fWre, fWim, fAre, fAim     = 0, 1, 2, 3
+		fBre, fBim, fTre, fTim     = 4, 5, 6, 7
+		fAcc, fT, fU               = 8, 9, 10
+	)
+
+	b.Label("entry")
+	b.Li(r(rRe), int64(reB))
+	b.Li(r(rIm), int64(imB))
+	b.Li(r(rCos), int64(cosB))
+	b.Li(r(rSin), int64(sinB))
+	b.Li(r(rRev), int64(revB))
+	b.Li(r(rN8), int64(n*8))
+	b.Li(r(rEight), 8)
+	b.Li(r(rThree), 3)
+	b.Li(r(rRes), int64(res))
+
+	// Bit-reversal permutation: swap (i, rev[i]) when i < rev[i].
+	b.Label("brev")
+	b.Li(r(rI), 0)
+	b.Label("brevloop")
+	b.Add(r(rT), r(rRev), r(rI))
+	b.Ld(r(rJ), r(rT), 0)
+	b.Bge(r(rI), r(rJ), "brevnext")
+	b.Label("brevswap")
+	b.Add(r(rT), r(rRe), r(rI))
+	b.Add(r(rU), r(rRe), r(rJ))
+	b.FLd(f(fT), r(rT), 0)
+	b.FLd(f(fU), r(rU), 0)
+	b.FSt(f(fU), r(rT), 0)
+	b.FSt(f(fT), r(rU), 0)
+	b.Add(r(rT), r(rIm), r(rI))
+	b.Add(r(rU), r(rIm), r(rJ))
+	b.FLd(f(fT), r(rT), 0)
+	b.FLd(f(fU), r(rU), 0)
+	b.FSt(f(fU), r(rT), 0)
+	b.FSt(f(fT), r(rU), 0)
+	b.Label("brevnext")
+	b.Addi(r(rI), r(rI), 8)
+	b.Blt(r(rI), r(rN8), "brevloop")
+
+	// Butterfly stages: len = 16,32,...,8n bytes (2,4,...,n points).
+	b.Label("stages")
+	b.Li(r(rLen), 16)
+	b.Label("stageloop")
+	b.Li(r(rT), 1)
+	b.Shr(r(rHalf), r(rLen), r(rT)) // half = len/2 (bytes)
+	// step = n8 / len (twiddle index stride, in points)
+	b.Div(r(rStep), r(rN8), r(rLen))
+	b.Li(r(rI), 0)
+
+	b.Label("groloop") // groups of size len
+	b.Li(r(rJ), 0)
+	b.Label("butloop") // butterflies within a group
+	// twiddle index = (j/8)*step points → byte offset = j*step (since
+	// j is a byte offset, j/8*step*8 = j*step).
+	b.Div(r(rK), r(rJ), r(rEight))
+	b.Mul(r(rK), r(rK), r(rStep))
+	b.Shl(r(rK), r(rK), r(rThree))
+	b.Add(r(rW), r(rCos), r(rK))
+	b.FLd(f(fWre), r(rW), 0)
+	b.Add(r(rW), r(rSin), r(rK))
+	b.FLd(f(fWim), r(rW), 0)
+	// a = i + j; b = a + half (byte offsets)
+	b.Add(r(rA), r(rI), r(rJ))
+	b.Add(r(rB2), r(rA), r(rHalf))
+	b.Add(r(rT), r(rRe), r(rB2))
+	b.FLd(f(fBre), r(rT), 0)
+	b.Add(r(rT), r(rIm), r(rB2))
+	b.FLd(f(fBim), r(rT), 0)
+	b.Add(r(rT), r(rRe), r(rA))
+	b.FLd(f(fAre), r(rT), 0)
+	b.Add(r(rT), r(rIm), r(rA))
+	b.FLd(f(fAim), r(rT), 0)
+	// t = w * b (complex)
+	b.FMul(f(fTre), f(fBre), f(fWre))
+	b.FMul(f(fT), f(fBim), f(fWim))
+	b.FSub(f(fTre), f(fTre), f(fT))
+	b.FMul(f(fTim), f(fBre), f(fWim))
+	b.FMul(f(fT), f(fBim), f(fWre))
+	b.FAdd(f(fTim), f(fTim), f(fT))
+	// b = a - t ; a = a + t
+	b.FSub(f(fBre), f(fAre), f(fTre))
+	b.FSub(f(fBim), f(fAim), f(fTim))
+	b.FAdd(f(fAre), f(fAre), f(fTre))
+	b.FAdd(f(fAim), f(fAim), f(fTim))
+	b.Add(r(rT), r(rRe), r(rB2))
+	b.FSt(f(fBre), r(rT), 0)
+	b.Add(r(rT), r(rIm), r(rB2))
+	b.FSt(f(fBim), r(rT), 0)
+	b.Add(r(rT), r(rRe), r(rA))
+	b.FSt(f(fAre), r(rT), 0)
+	b.Add(r(rT), r(rIm), r(rA))
+	b.FSt(f(fAim), r(rT), 0)
+	b.Addi(r(rJ), r(rJ), 8)
+	b.Blt(r(rJ), r(rHalf), "butloop")
+	b.Label("gronext")
+	b.Add(r(rI), r(rI), r(rLen))
+	b.Blt(r(rI), r(rN8), "groloop")
+	b.Label("stagenext")
+	b.Li(r(rT), 1)
+	b.Shl(r(rLen), r(rLen), r(rT))
+	b.Li(r(rLim), int64(n*8))
+	b.Bge(r(rLim), r(rLen), "stageloop")
+
+	// Power-spectrum checksum: sum re^2 + im^2, store as int.
+	b.Label("power")
+	b.Li(r(rT), 0)
+	b.CvtIF(f(fAcc), r(rT))
+	b.Li(r(rI), 0)
+	b.Label("powloop")
+	b.Add(r(rT), r(rRe), r(rI))
+	b.FLd(f(fT), r(rT), 0)
+	b.FMul(f(fT), f(fT), f(fT))
+	b.FAdd(f(fAcc), f(fAcc), f(fT))
+	b.Add(r(rT), r(rIm), r(rI))
+	b.FLd(f(fU), r(rT), 0)
+	b.FMul(f(fU), f(fU), f(fU))
+	b.FAdd(f(fAcc), f(fAcc), f(fU))
+	b.Addi(r(rI), r(rI), 8)
+	b.Blt(r(rI), r(rN8), "powloop")
+	b.Label("finish")
+	b.CvtFI(r(rT), f(fAcc))
+	b.St(r(rT), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// imaStepTable is the IMA ADPCM step-size table.
+var imaStepTable = []int64{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+	41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+	190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+	724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484,
+	7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818,
+	18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+// imaIndexTable is the IMA ADPCM index-adjust table (by 3-bit magnitude).
+var imaIndexTable = []int64{-1, -1, -1, -1, 2, 4, 6, 8}
+
+// adpcmSamples generates the speech-like input signal.
+func adpcmSamples(n int) []int64 { return adpcmSamplesSeeded(n, 0xadc) }
+
+// buildADPCM mirrors MiBench adpcm (rawcaudio): the IMA ADPCM encoder,
+// whose successive-approximation quantizer is a chain of moderately
+// predictable data-dependent branches.
+func buildADPCM() *prog.Program {
+	const n = 16000
+	b := prog.NewBuilder("adpcm")
+	in := b.Words("samples", adpcmSamples(n))
+	stepB := b.Words("steptab", imaStepTable)
+	idxB := b.Words("indextab", imaIndexTable)
+	outB := b.Zeros("deltas", n)
+	res := b.Zeros("result", 8)
+
+	const (
+		rPtr, rEnd, rOut, rS, rDiff  = 1, 2, 3, 4, 5
+		rSign, rDelta, rStep, rVP    = 6, 7, 8, 9
+		rPred, rIdx, rT, rU, rRes    = 10, 11, 12, 13, 14
+		rSum, rThree, rOne, rMax     = 15, 16, 17, 18
+		rMin, rEightyEight, rStepTab = 19, 20, 21
+		rIdxTab                      = 22
+	)
+
+	b.Label("entry")
+	b.Li(r(rPtr), int64(in))
+	b.Li(r(rEnd), int64(in)+8*n)
+	b.Li(r(rOut), int64(outB))
+	b.Li(r(rStepTab), int64(stepB))
+	b.Li(r(rIdxTab), int64(idxB))
+	b.Li(r(rPred), 0)
+	b.Li(r(rIdx), 0)
+	b.Li(r(rSum), 0)
+	b.Li(r(rThree), 3)
+	b.Li(r(rOne), 1)
+	b.Li(r(rMax), 32767)
+	b.Li(r(rMin), -32768)
+	b.Li(r(rEightyEight), 88)
+	b.Li(r(rRes), int64(res))
+
+	b.Label("loop")
+	b.Ld(r(rS), r(rPtr), 0)
+	// step = stepTable[index]
+	b.Shl(r(rT), r(rIdx), r(rThree))
+	b.Add(r(rT), r(rT), r(rStepTab))
+	b.Ld(r(rStep), r(rT), 0)
+	// diff = s - pred; sign = 8 if negative
+	b.Sub(r(rDiff), r(rS), r(rPred))
+	b.Li(r(rSign), 0)
+	b.Bge(r(rDiff), rz, "mag")
+	b.Label("neg")
+	b.Li(r(rSign), 8)
+	b.Sub(r(rDiff), rz, r(rDiff))
+	b.Label("mag")
+	// Successive approximation: 3 unrolled steps.
+	b.Li(r(rDelta), 0)
+	b.Shr(r(rVP), r(rStep), r(rThree)) // vpdiff = step>>3
+	for bit := 4; bit >= 1; bit >>= 1 {
+		lbl := func(s string) string { return offLabel(s, int64(bit)) }
+		b.Blt(r(rDiff), r(rStep), lbl("skip"))
+		b.Label(lbl("take"))
+		b.Addi(r(rDelta), r(rDelta), int64(bit))
+		b.Sub(r(rDiff), r(rDiff), r(rStep))
+		b.Add(r(rVP), r(rVP), r(rStep))
+		b.Label(lbl("skip"))
+		b.Shr(r(rStep), r(rStep), r(rOne))
+	}
+	// pred += sign ? -vpdiff : +vpdiff, clamped.
+	b.Beq(r(rSign), rz, "plus")
+	b.Label("minus")
+	b.Sub(r(rPred), r(rPred), r(rVP))
+	b.Jmp("clamp")
+	b.Label("plus")
+	b.Add(r(rPred), r(rPred), r(rVP))
+	b.Label("clamp")
+	b.Blt(r(rPred), r(rMax), "ckmin")
+	b.Label("himax")
+	b.Mov(r(rPred), r(rMax))
+	b.Label("ckmin")
+	b.Bge(r(rPred), r(rMin), "idxup")
+	b.Label("lomin")
+	b.Mov(r(rPred), r(rMin))
+	// index += indexTable[delta], clamped to [0,88].
+	b.Label("idxup")
+	b.Shl(r(rT), r(rDelta), r(rThree))
+	b.Add(r(rT), r(rT), r(rIdxTab))
+	b.Ld(r(rU), r(rT), 0)
+	b.Add(r(rIdx), r(rIdx), r(rU))
+	b.Bge(r(rIdx), rz, "ckhi")
+	b.Label("lozero")
+	b.Li(r(rIdx), 0)
+	b.Label("ckhi")
+	b.Bge(r(rEightyEight), r(rIdx), "emit")
+	b.Label("hi88")
+	b.Mov(r(rIdx), r(rEightyEight))
+	// Emit 4-bit code (delta|sign) as one byte; checksum it.
+	b.Label("emit")
+	b.Or(r(rT), r(rDelta), r(rSign))
+	b.St1(r(rT), r(rOut), 0)
+	b.Add(r(rSum), r(rSum), r(rT))
+	b.Addi(r(rOut), r(rOut), 1)
+	b.Addi(r(rPtr), r(rPtr), 8)
+	b.Blt(r(rPtr), r(rEnd), "loop")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildGSM mirrors MiBench gsm: the short-term analysis front end of GSM
+// 06.10 — per-frame autocorrelation at 9 lags over 160-sample frames with
+// fixed-point scaling, the multiply-accumulate-dominated kernel of the
+// codec.
+func buildGSM() *prog.Program { return buildGSMSized(48) }
+
+func buildGSMSized(frames int) *prog.Program {
+	const (
+		frame = 160
+		lags  = 9
+	)
+	n := frame * frames
+	b := prog.NewBuilder("gsm")
+	in := b.Words("speech", adpcmSamplesSeeded(n, 0x65b))
+	acfB := b.Zeros("acf", uint64(8*lags*frames))
+	res := b.Zeros("result", 8)
+
+	const (
+		rIn, rF, rK, rI, rAcc = 1, 2, 3, 4, 5
+		rT, rU, rV, rBase, rW = 6, 7, 8, 9, 10
+		rAcf, rSum, rRes, rSc = 11, 12, 13, 14
+		rFrameB, rLagB, rLim  = 15, 16, 17
+		rFifteen              = 18
+	)
+
+	b.Label("entry")
+	b.Li(r(rIn), int64(in))
+	b.Li(r(rAcf), int64(acfB))
+	b.Li(r(rSum), 0)
+	b.Li(r(rRes), int64(res))
+	b.Li(r(rFifteen), 15)
+	b.Li(r(rF), 0)
+
+	b.Label("frameloop")
+	// base = in + f*frame*8
+	b.Li(r(rT), frame*8)
+	b.Mul(r(rBase), r(rF), r(rT))
+	b.Add(r(rBase), r(rBase), r(rIn))
+	b.Li(r(rK), 0)
+
+	b.Label("lagloop")
+	b.Li(r(rAcc), 0)
+	b.Li(r(rI), 0)
+	// lim = (frame - k) * 8
+	b.Li(r(rT), frame)
+	b.Sub(r(rT), r(rT), r(rK))
+	b.Li(r(rU), 3)
+	b.Shl(r(rLim), r(rT), r(rU))
+	b.Li(r(rU), 3)
+	b.Shl(r(rLagB), r(rK), r(rU))
+
+	b.Label("macloop")
+	b.Add(r(rT), r(rBase), r(rI))
+	b.Ld(r(rV), r(rT), 0)
+	b.Add(r(rT), r(rT), r(rLagB))
+	b.Ld(r(rW), r(rT), 0)
+	b.Mul(r(rV), r(rV), r(rW))
+	b.Add(r(rAcc), r(rAcc), r(rV))
+	b.Addi(r(rI), r(rI), 8)
+	b.Blt(r(rI), r(rLim), "macloop")
+
+	b.Label("lagstore")
+	// Fixed-point scale: acf >> 15, as GSM's L_mult/L_add pipeline does.
+	b.Sar(r(rSc), r(rAcc), r(rFifteen))
+	b.Li(r(rT), lags*8)
+	b.Mul(r(rT), r(rF), r(rT))
+	b.Li(r(rU), 3)
+	b.Shl(r(rU), r(rK), r(rU))
+	b.Add(r(rT), r(rT), r(rU))
+	b.Add(r(rT), r(rT), r(rAcf))
+	b.St(r(rSc), r(rT), 0)
+	b.Add(r(rSum), r(rSum), r(rSc))
+	b.Addi(r(rK), r(rK), 1)
+	b.Li(r(rT), lags)
+	b.Blt(r(rK), r(rT), "lagloop")
+
+	b.Label("framenext")
+	b.Addi(r(rF), r(rF), 1)
+	b.Li(r(rT), int64(frames))
+	b.Blt(r(rF), r(rT), "frameloop")
+
+	b.Label("finish")
+	b.St(r(rSum), r(rRes), 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// adpcmSamplesSeeded is adpcmSamples with a caller-chosen seed so gsm and
+// adpcm do not share the exact same input.
+func adpcmSamplesSeeded(n int, seed uint64) []int64 {
+	rnd := newRNG(seed)
+	s := make([]int64, n)
+	for i := range s {
+		v := 9000*math.Sin(2*math.Pi*float64(i)/63) +
+			4000*math.Sin(2*math.Pi*float64(i)/17) +
+			1500*(rnd.float01()-0.5)
+		s[i] = int64(v)
+	}
+	return s
+}

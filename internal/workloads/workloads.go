@@ -1,0 +1,172 @@
+// Package workloads provides the 23 embedded benchmark kernels used to
+// evaluate performance cloning, standing in for the MiBench and MediaBench
+// programs in Table 1 of the paper (the original Alpha binaries are not
+// redistributable). Each kernel implements the real algorithm of its
+// namesake — quicksort really sorts, the FFT really transforms, CRC32
+// really folds a polynomial — expressed in the repository's RISC ISA, so
+// the instruction mix, data locality, dependency structure, and branch
+// behaviour that the profiler measures arise from genuine computation.
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"perfclone/internal/funcsim"
+	"perfclone/internal/prog"
+)
+
+// Domain is the application domain from Table 1.
+type Domain string
+
+// Domains from Table 1 of the paper.
+const (
+	Automotive Domain = "Automotive"
+	Network    Domain = "Networking"
+	Telecom    Domain = "Telecommunication"
+	Office     Domain = "Office"
+	Security   Domain = "Security"
+	Consumer   Domain = "Consumer"
+	Media      Domain = "Media"
+)
+
+// Workload describes one registered benchmark kernel.
+type Workload struct {
+	// Name is the benchmark name (MiBench/MediaBench analog).
+	Name string
+	// Domain is the Table 1 application domain.
+	Domain Domain
+	// Suite records the originating suite of the namesake program.
+	Suite string
+	// Build constructs the program with its input data baked in.
+	Build func() *prog.Program
+}
+
+var registry []Workload
+
+func register(w Workload) {
+	registry = append(registry, w)
+}
+
+// All returns every registered workload, sorted by name.
+func All() []Workload {
+	out := make([]Workload, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted workload names.
+func Names() []string {
+	ws := All()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// ByName returns the workload with the given name.
+func ByName(name string) (Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+}
+
+// ResultValue reads the 8-byte checksum every kernel stores in its
+// "result" segment after m has finished running p. It lets tests and the
+// harness verify that a kernel computed what its reference implementation
+// computes.
+func ResultValue(p *prog.Program, m *funcsim.Machine) (int64, error) {
+	for _, s := range p.Segments {
+		if s.Name == "result" {
+			raw, err := m.ReadMem(s.Base, 8)
+			if err != nil {
+				return 0, err
+			}
+			return int64(binary.LittleEndian.Uint64(raw)), nil
+		}
+	}
+	return 0, fmt.Errorf("workloads: program %q has no result segment", p.Name)
+}
+
+// offLabel builds a unique label name for unrolled code, qualified by the
+// unroll offset.
+func offLabel(s string, off int64) string {
+	return fmt.Sprintf("%s_%d", s, off)
+}
+
+// rng is a small deterministic PRNG (xorshift64*) used to generate input
+// data sets. Workload inputs must be reproducible across runs so profiles
+// and measurements are stable; seeding per workload keeps inputs distinct.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// float01 returns a value in [0, 1).
+func (r *rng) float01() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// bytes returns n pseudo-random bytes.
+func (r *rng) bytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.next())
+	}
+	return b
+}
+
+// words returns n pseudo-random int64 values in [0, bound).
+func (r *rng) words(n int, bound int64) []int64 {
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(r.next() % uint64(bound))
+	}
+	return w
+}
+
+// floats returns n pseudo-random float64 values in [0, scale).
+func (r *rng) floats(n int, scale float64) []float64 {
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = r.float01() * scale
+	}
+	return f
+}
+
+// asciiText returns n bytes of pseudo-random lowercase text with spaces,
+// used by the office workloads.
+func (r *rng) asciiText(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		c := r.intn(27)
+		if c == 26 {
+			b[i] = ' '
+		} else {
+			b[i] = byte('a' + c)
+		}
+	}
+	return b
+}
