@@ -19,10 +19,11 @@ func main() {
 	run := flag.String("run", "all", "experiment to run: all, fig3..fig9, table3, ablation, predsweep, l2sweep, prefetch, statsim, inputs, ext")
 	wl := flag.String("workloads", "", "comma-separated workload subset (default: all 23)")
 	parallel := flag.Bool("parallel", true, "run independent simulations concurrently")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel runs (0 = GOMAXPROCS)")
 	insts := flag.Uint64("insts", 0, "timing-simulation instruction budget per run (default 500000)")
 	flag.Parse()
 
-	opts := experiments.Options{Parallel: *parallel, TimingInsts: *insts}
+	opts := experiments.Options{Parallel: *parallel, Workers: *workers, TimingInsts: *insts}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
 	}

@@ -103,11 +103,92 @@ type line struct {
 	lru   uint64
 }
 
+// indexedAssoc is the associativity at which lookups switch from a
+// linear way scan to a per-set tag→way hash index. The paper's sweep
+// includes fully associative caches up to 512 ways, where a linear scan
+// averages hundreds of probes per access; one hash probe replaces it.
+// Below the threshold a short scan is cheaper than hashing.
+const indexedAssoc = 16
+
+// recList tracks one set's recency order for indexed LRU/FIFO caches: an
+// intrusive doubly-linked list over way indices with the most recent at
+// head. It makes hit-promotion and victim selection O(1) where the lru
+// timestamp scan is O(ways); the orders are identical (timestamps are
+// unique), so the statistics do not change.
+type recList struct {
+	prev, next []int32
+	head, tail int32
+	// filled counts ways ever inserted; until it reaches the
+	// associativity the next victim is the first invalid way, matching
+	// the scan path (ways only fill in index order and are never
+	// invalidated except by Reset).
+	filled int32
+}
+
+func (r *recList) init(assoc int) {
+	r.prev = make([]int32, assoc)
+	r.next = make([]int32, assoc)
+	r.head, r.tail, r.filled = -1, -1, 0
+}
+
+func (r *recList) reset() {
+	r.head, r.tail, r.filled = -1, -1, 0
+}
+
+func (r *recList) pushFront(wi int32) {
+	r.prev[wi] = -1
+	r.next[wi] = r.head
+	if r.head >= 0 {
+		r.prev[r.head] = wi
+	} else {
+		r.tail = wi
+	}
+	r.head = wi
+}
+
+func (r *recList) unlink(wi int32) {
+	p, n := r.prev[wi], r.next[wi]
+	if p >= 0 {
+		r.next[p] = n
+	} else {
+		r.head = n
+	}
+	if n >= 0 {
+		r.prev[n] = p
+	} else {
+		r.tail = p
+	}
+}
+
+func (r *recList) moveFront(wi int32) {
+	if r.head == wi {
+		return
+	}
+	r.unlink(wi)
+	r.pushFront(wi)
+}
+
+// take returns the way to fill next — the first never-filled way while
+// the set is cold, else the least recent way (unlinked from the list; the
+// caller re-links it at the front after the fill).
+func (r *recList) take() int32 {
+	if int(r.filled) < len(r.prev) {
+		wi := r.filled
+		r.filled++
+		return wi
+	}
+	wi := r.tail
+	r.unlink(wi)
+	return wi
+}
+
 // Cache is one level of set-associative cache with true-LRU replacement
 // (the policy the paper fixes for all 28 configurations).
 type Cache struct {
 	cfg       Config
 	sets      [][]line
+	idx       []map[uint64]int32 // per-set tag→way, nil below indexedAssoc
+	rec       []recList          // per-set recency lists, nil unless idx != nil and LRU/FIFO
 	setMask   uint64
 	lineShift uint
 	clock     uint64
@@ -135,6 +216,18 @@ func New(cfg Config) (*Cache, error) {
 	}
 	for i := range c.sets {
 		c.sets[i] = make([]line, assoc)
+	}
+	if assoc >= indexedAssoc {
+		c.idx = make([]map[uint64]int32, nsets)
+		for i := range c.idx {
+			c.idx[i] = make(map[uint64]int32, assoc)
+		}
+		if cfg.Replacement != PolicyRandom {
+			c.rec = make([]recList, nsets)
+			for i := range c.rec {
+				c.rec[i].init(assoc)
+			}
+		}
 	}
 	return c, nil
 }
@@ -174,9 +267,33 @@ func (c *Cache) Reset() {
 		for wi := range c.sets[si] {
 			c.sets[si][wi] = line{}
 		}
+		if c.idx != nil {
+			clear(c.idx[si])
+		}
+		if c.rec != nil {
+			c.rec[si].reset()
+		}
 	}
 	c.clock = 0
 	c.stats = Stats{}
+}
+
+// lookup finds the way holding tag in set si, or -1. High-associativity
+// sets use the hash index; the rest use a linear scan.
+func (c *Cache) lookup(si uint64, tag uint64) int {
+	if c.idx != nil {
+		if wi, ok := c.idx[si][tag]; ok {
+			return int(wi)
+		}
+		return -1
+	}
+	set := c.sets[si]
+	for wi := range set {
+		if set[wi].valid && set[wi].tag == tag {
+			return wi
+		}
+	}
+	return -1
 }
 
 // Access simulates one access. It returns true on hit. A miss allocates
@@ -185,24 +302,40 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	c.clock++
 	c.stats.Accesses++
 	tag := addr >> c.lineShift
-	set := c.sets[tag&c.setMask]
-	for wi := range set {
-		if set[wi].valid && set[wi].tag == tag {
-			if c.cfg.Replacement != PolicyFIFO {
-				set[wi].lru = c.clock // FIFO ignores recency on hits
+	si := tag & c.setMask
+	set := c.sets[si]
+	if wi := c.lookup(si, tag); wi >= 0 {
+		if c.cfg.Replacement != PolicyFIFO {
+			set[wi].lru = c.clock // FIFO ignores recency on hits
+			if c.rec != nil {
+				c.rec[si].moveFront(int32(wi))
 			}
-			if write {
-				set[wi].dirty = true
-			}
-			return true
 		}
+		if write {
+			set[wi].dirty = true
+		}
+		return true
 	}
 	c.stats.Misses++
-	victim := c.victim(set)
-	if set[victim].valid && set[victim].dirty {
-		c.stats.Writebacks++
+	var victim int
+	if c.rec != nil {
+		victim = int(c.rec[si].take())
+		c.rec[si].pushFront(int32(victim))
+	} else {
+		victim = c.victim(set)
+	}
+	if set[victim].valid {
+		if set[victim].dirty {
+			c.stats.Writebacks++
+		}
+		if c.idx != nil {
+			delete(c.idx[si], set[victim].tag)
+		}
 	}
 	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	if c.idx != nil {
+		c.idx[si][tag] = int32(victim)
+	}
 	return false
 }
 
@@ -236,20 +369,36 @@ func (c *Cache) victim(set []line) int {
 func (c *Cache) Prefetch(addr uint64) bool {
 	c.clock++
 	tag := addr >> c.lineShift
-	set := c.sets[tag&c.setMask]
-	for wi := range set {
-		if set[wi].valid && set[wi].tag == tag {
-			if c.cfg.Replacement != PolicyFIFO {
-				set[wi].lru = c.clock
+	si := tag & c.setMask
+	set := c.sets[si]
+	if wi := c.lookup(si, tag); wi >= 0 {
+		if c.cfg.Replacement != PolicyFIFO {
+			set[wi].lru = c.clock
+			if c.rec != nil {
+				c.rec[si].moveFront(int32(wi))
 			}
-			return true
+		}
+		return true
+	}
+	var victim int
+	if c.rec != nil {
+		victim = int(c.rec[si].take())
+		c.rec[si].pushFront(int32(victim))
+	} else {
+		victim = c.victim(set)
+	}
+	if set[victim].valid {
+		if set[victim].dirty {
+			c.stats.Writebacks++
+		}
+		if c.idx != nil {
+			delete(c.idx[si], set[victim].tag)
 		}
 	}
-	victim := c.victim(set)
-	if set[victim].valid && set[victim].dirty {
-		c.stats.Writebacks++
-	}
 	set[victim] = line{tag: tag, valid: true, lru: c.clock}
+	if c.idx != nil {
+		c.idx[si][tag] = int32(victim)
+	}
 	return false
 }
 
@@ -292,6 +441,20 @@ func NewReplaySet(cfgs []Config) (*ReplaySet, error) {
 func (rs *ReplaySet) Access(addr uint64, write bool) {
 	for _, c := range rs.caches {
 		c.Access(addr, write)
+	}
+}
+
+// AccessStream feeds a packed reference stream — a parallel address
+// slice and store bitset (bit i set when addrs[i] is a store), as
+// produced by dyntrace.Trace.Mem — to every cache. It iterates
+// cache-major so each cache's sets stay hot while it consumes the whole
+// stream; the caches are independent, so the statistics are identical to
+// interleaved delivery via Access.
+func (rs *ReplaySet) AccessStream(addrs []uint64, storeBits []uint64) {
+	for _, c := range rs.caches {
+		for i, a := range addrs {
+			c.Access(a, storeBits[i>>6]>>(uint(i)&63)&1 == 1)
+		}
 	}
 }
 

@@ -1,0 +1,59 @@
+package cache
+
+import "testing"
+
+// TestIndexedMatchesScan drives the hash-indexed + recency-list fast path
+// and the linear-scan path with an identical access mix and requires
+// hit/miss agreement on every access and equal final statistics. The slow
+// cache is a real cache with its accelerator structures stripped, so this
+// pins the two implementations against each other exactly.
+func TestIndexedMatchesScan(t *testing.T) {
+	cfgs := []Config{
+		{Size: 16 << 10, Assoc: 0, LineSize: 32},                          // 512-way full LRU
+		{Size: 2 << 10, Assoc: 0, LineSize: 32},                           // 64-way full LRU
+		{Size: 8 << 10, Assoc: 16, LineSize: 64},                          // 16-way LRU
+		{Size: 16 << 10, Assoc: 0, LineSize: 32, Replacement: PolicyFIFO}, // full FIFO
+	}
+	for _, cfg := range cfgs {
+		fast := MustNew(cfg)
+		if fast.idx == nil || fast.rec == nil {
+			t.Fatalf("%s: expected indexed cache", cfg)
+		}
+		slow := MustNew(cfg)
+		slow.idx, slow.rec = nil, nil
+
+		rng := uint64(0x1234_5678_9abc_def0)
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		for i := 0; i < 200_000; i++ {
+			r := next()
+			// Working set larger than the cache, with enough locality
+			// to exercise hits, promotions, and dirty evictions.
+			addr := r % (64 << 10)
+			write := r&7 == 0
+			if r&63 == 1 {
+				if fast.Prefetch(addr) != slow.Prefetch(addr) {
+					t.Fatalf("%s: prefetch residency diverged at access %d", cfg, i)
+				}
+				continue
+			}
+			if fast.Access(addr, write) != slow.Access(addr, write) {
+				t.Fatalf("%s: hit/miss diverged at access %d", cfg, i)
+			}
+		}
+		if fast.Stats() != slow.Stats() {
+			t.Errorf("%s: stats diverged\nindexed: %+v\nscan:    %+v", cfg, fast.Stats(), slow.Stats())
+		}
+
+		// Reset must clear the accelerator structures too.
+		fast.Reset()
+		slow.Reset()
+		if fast.Access(0x40, false) != slow.Access(0x40, false) {
+			t.Errorf("%s: post-Reset behaviour diverged", cfg)
+		}
+	}
+}

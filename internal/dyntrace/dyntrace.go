@@ -1,0 +1,226 @@
+// Package dyntrace records one functional execution of a program as a
+// compact, immutable, in-memory dynamic trace, so that every downstream
+// consumer — the 28-configuration cache sweep, the timing simulator
+// across design changes, the branch-predictor studies — can replay the
+// identical instruction stream without re-running the interpreter.
+//
+// This is the execute-once/replay-many substrate real simulation
+// frameworks use to amortize functional simulation: the paper's
+// evaluation replays each workload and its clone across dozens of cache
+// and pipeline configurations, and all of those runs consume the same
+// dynamic stream.
+//
+// The trace is a struct-of-arrays: per-program static-instruction
+// metadata is stored once in a Static table, and the dynamic stream is
+// three parallel columns — a uint32 static-instruction id per retired
+// instruction, a taken bitset indexed by dynamic position, and a packed
+// effective-address stream holding one word per memory reference (not per
+// instruction). No per-event structs are allocated and no observer
+// closure runs during replay. Footprint is
+//
+//	4 B/inst (id) + 1 bit/inst (taken) + 8.125 B/memref (addr + store bit)
+//
+// ≈ 7 MB per million instructions at a typical ~35 % memory-op mix,
+// versus ~100 B/inst for a slice of funcsim.Event.
+package dyntrace
+
+import (
+	"fmt"
+
+	"perfclone/internal/funcsim"
+	"perfclone/internal/isa"
+	"perfclone/internal/prog"
+)
+
+// Static is the per-static-instruction metadata replayers need, computed
+// once at capture time. Fields mirror what the timing simulator's
+// functional front end derives per dynamic instruction.
+type Static struct {
+	// PC is the synthetic text address (drives I-cache and predictor
+	// indexing).
+	PC uint64
+	// Op is the opcode; Class its functional-unit class.
+	Op    isa.Op
+	Class isa.Class
+	// Dest, Src1, Src2 are the architected registers (isa.NoReg when
+	// absent) driving dependence tracking.
+	Dest isa.Reg
+	Src1 isa.Reg
+	Src2 isa.Reg
+	// Branch, Jump, Mem, Store classify the instruction.
+	Branch bool
+	Jump   bool
+	Mem    bool
+	Store  bool
+	// Block and Index locate the instruction in the program.
+	Block int32
+	Index int32
+}
+
+// Trace is one captured dynamic instruction stream. All accessors return
+// internal slices for zero-copy replay; callers must treat them as
+// read-only. A Trace is immutable after Capture and safe for concurrent
+// replay from many goroutines.
+type Trace struct {
+	prog     *prog.Program
+	static   []Static
+	sid      []uint32 // per dynamic instruction: index into static
+	taken    []uint64 // bitset over dynamic instructions
+	memAddr  []uint64 // packed effective addresses, dynamic order
+	memStore []uint64 // bitset over memAddr entries
+	insts    uint64
+	halted   bool
+}
+
+// Capture executes p functionally (up to maxInsts dynamic instructions;
+// 0 = to completion) and records the dynamic stream.
+func Capture(p *prog.Program, maxInsts uint64) (*Trace, error) {
+	m, err := funcsim.New(p)
+	if err != nil {
+		return nil, err
+	}
+	static, base := buildStatic(p)
+	hint := maxInsts
+	if hint == 0 || hint > 1<<20 {
+		hint = 1 << 20
+	}
+	t := &Trace{
+		prog:   p,
+		static: static,
+		sid:    make([]uint32, 0, hint),
+		taken:  make([]uint64, 0, (hint+63)/64),
+	}
+	obs := func(events []funcsim.Event) error {
+		for k := range events {
+			ev := &events[k]
+			sid := base[ev.Block] + uint32(ev.Index)
+			i := uint64(len(t.sid))
+			t.sid = append(t.sid, sid)
+			t.taken = appendBit(t.taken, i, ev.Taken)
+			st := &t.static[sid]
+			if st.Mem {
+				mi := uint64(len(t.memAddr))
+				t.memStore = appendBit(t.memStore, mi, st.Store)
+				t.memAddr = append(t.memAddr, ev.Addr)
+			}
+		}
+		return nil
+	}
+	res, err := m.RunBatch(funcsim.Limits{MaxInsts: maxInsts}, obs)
+	if err != nil {
+		return nil, fmt.Errorf("dyntrace: capture %s: %w", p.Name, err)
+	}
+	t.insts = res.Insts
+	t.halted = res.Halted
+	return t, nil
+}
+
+// buildStatic flattens the program's blocks into the static table and
+// returns per-block base offsets into it.
+func buildStatic(p *prog.Program) ([]Static, []uint32) {
+	static := make([]Static, 0, p.NumStaticInsts())
+	base := make([]uint32, len(p.Blocks))
+	var srcBuf [2]isa.Reg
+	for bi := range p.Blocks {
+		base[bi] = uint32(len(static))
+		blk := &p.Blocks[bi]
+		for ii := range blk.Insts {
+			in := &blk.Insts[ii]
+			s := Static{
+				PC:     p.InstAddr(bi, ii),
+				Op:     in.Op,
+				Class:  in.Op.Class(),
+				Dest:   in.Dest(),
+				Src1:   isa.NoReg,
+				Src2:   isa.NoReg,
+				Branch: in.Op.IsBranch(),
+				Jump:   in.Op == isa.OpJmp,
+				Mem:    in.Op.IsMem(),
+				Store:  in.Op.IsStore(),
+				Block:  int32(bi),
+				Index:  int32(ii),
+			}
+			srcs := in.Sources(srcBuf[:0])
+			if len(srcs) > 0 {
+				s.Src1 = srcs[0]
+			}
+			if len(srcs) > 1 {
+				s.Src2 = srcs[1]
+			}
+			static = append(static, s)
+		}
+	}
+	return static, base
+}
+
+func appendBit(bits []uint64, i uint64, v bool) []uint64 {
+	if i&63 == 0 {
+		bits = append(bits, 0)
+	}
+	if v {
+		bits[i>>6] |= 1 << (i & 63)
+	}
+	return bits
+}
+
+// Program returns the traced program.
+func (t *Trace) Program() *prog.Program { return t.prog }
+
+// Insts is the number of retired dynamic instructions recorded.
+func (t *Trace) Insts() uint64 { return t.insts }
+
+// Halted reports whether the program reached halt within the capture
+// budget.
+func (t *Trace) Halted() bool { return t.halted }
+
+// NumMem is the number of memory references recorded.
+func (t *Trace) NumMem() uint64 { return uint64(len(t.memAddr)) }
+
+// Statics returns the static-instruction table (read-only).
+func (t *Trace) Statics() []Static { return t.static }
+
+// SIDs returns the per-instruction static-id column (read-only).
+func (t *Trace) SIDs() []uint32 { return t.sid }
+
+// TakenBits returns the per-instruction taken bitset (read-only); bit i
+// is dynamic instruction i's branch direction.
+func (t *Trace) TakenBits() []uint64 { return t.taken }
+
+// Taken reports dynamic instruction i's branch direction.
+func (t *Trace) Taken(i uint64) bool {
+	return t.taken[i>>6]>>(i&63)&1 == 1
+}
+
+// MemAddrs returns the packed effective-address stream (read-only): one
+// entry per memory reference, in dynamic order.
+func (t *Trace) MemAddrs() []uint64 { return t.memAddr }
+
+// MemStores returns the store bitset over MemAddrs (read-only); bit i is
+// set when reference i is a store.
+func (t *Trace) MemStores() []uint64 { return t.memStore }
+
+// Mem returns the data-reference stream of the first maxInsts dynamic
+// instructions (0 or ≥ Insts() = the whole trace): a packed address slice
+// and the store bitset indexed in parallel with it. The slices alias the
+// trace; treat them as read-only.
+func (t *Trace) Mem(maxInsts uint64) (addrs []uint64, storeBits []uint64) {
+	if maxInsts == 0 || maxInsts >= t.insts {
+		return t.memAddr, t.memStore
+	}
+	var k uint64
+	for i := uint64(0); i < maxInsts; i++ {
+		if t.static[t.sid[i]].Mem {
+			k++
+		}
+	}
+	return t.memAddr[:k], t.memStore
+}
+
+// Bytes estimates the trace's in-memory footprint, for capacity planning
+// (EXPERIMENTS.md documents the per-million-instruction cost).
+func (t *Trace) Bytes() uint64 {
+	const staticSize = 40 // unsafe.Sizeof(Static{}) with padding
+	return 4*uint64(len(t.sid)) +
+		8*uint64(len(t.taken)+len(t.memAddr)+len(t.memStore)) +
+		staticSize*uint64(len(t.static))
+}

@@ -1,0 +1,147 @@
+package dyntrace
+
+import (
+	"testing"
+
+	"perfclone/internal/funcsim"
+	"perfclone/internal/isa"
+	"perfclone/internal/prog"
+	"perfclone/internal/workloads"
+)
+
+// loopProgram stores in a loop so the trace has branches and memory refs.
+func loopProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("loop")
+	base := b.Zeros("buf", 64)
+	b.Label("e")
+	b.Li(isa.IntReg(1), int64(base))
+	b.Li(isa.IntReg(2), 5)
+	b.Label("loop")
+	b.St(isa.IntReg(2), isa.IntReg(1), 8)
+	b.Ld(isa.IntReg(3), isa.IntReg(1), 8)
+	b.Addi(isa.IntReg(2), isa.IntReg(2), -1)
+	b.Bne(isa.IntReg(2), isa.RZero, "loop")
+	b.Label("end")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestCaptureMatchesObserver: the trace's columns must agree event-for-
+// event with the funcsim observer stream it was derived from.
+func TestCaptureMatchesObserver(t *testing.T) {
+	p := loopProgram(t)
+	tr, err := Capture(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var i, mi uint64
+	obs := func(ev *funcsim.Event) error {
+		st := tr.Statics()[tr.SIDs()[i]]
+		if int(st.Block) != ev.Block || int(st.Index) != ev.Index {
+			t.Fatalf("inst %d: static (%d,%d) want (%d,%d)", i, st.Block, st.Index, ev.Block, ev.Index)
+		}
+		if st.PC != ev.PC {
+			t.Fatalf("inst %d: PC %d want %d", i, st.PC, ev.PC)
+		}
+		if st.Op != ev.Inst.Op {
+			t.Fatalf("inst %d: op %v want %v", i, st.Op, ev.Inst.Op)
+		}
+		if tr.Taken(i) != ev.Taken {
+			t.Fatalf("inst %d: taken %v want %v", i, tr.Taken(i), ev.Taken)
+		}
+		if st.Mem {
+			if got := tr.MemAddrs()[mi]; got != ev.Addr {
+				t.Fatalf("memref %d: addr %d want %d", mi, got, ev.Addr)
+			}
+			isStore := tr.MemStores()[mi>>6]>>(mi&63)&1 == 1
+			if isStore != ev.Inst.Op.IsStore() {
+				t.Fatalf("memref %d: store bit %v", mi, isStore)
+			}
+			mi++
+		}
+		i++
+		return nil
+	}
+	res, err := funcsim.RunProgram(p, funcsim.Limits{}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Insts() != res.Insts || i != res.Insts {
+		t.Fatalf("trace has %d insts, execution retired %d", tr.Insts(), res.Insts)
+	}
+	if tr.NumMem() != mi {
+		t.Fatalf("trace has %d memrefs, execution had %d", tr.NumMem(), mi)
+	}
+	if !tr.Halted() {
+		t.Fatal("trace should record halt")
+	}
+}
+
+// TestCaptureRespectsLimit: the capture budget truncates the stream
+// exactly like funcsim.Limits.
+func TestCaptureRespectsLimit(t *testing.T) {
+	p := loopProgram(t)
+	tr, err := Capture(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Insts() != 7 {
+		t.Fatalf("insts %d want 7", tr.Insts())
+	}
+	if tr.Halted() {
+		t.Fatal("limited capture must not report halt")
+	}
+}
+
+// TestMemPrefix: Mem(n) must return exactly the references issued by the
+// first n instructions.
+func TestMemPrefix(t *testing.T) {
+	p := loopProgram(t)
+	tr, err := Capture(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := uint64(0); n <= tr.Insts(); n++ {
+		want := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			if tr.Statics()[tr.SIDs()[i]].Mem {
+				want++
+			}
+		}
+		maxInsts := n
+		if n == tr.Insts() {
+			maxInsts = 0 // whole-trace spelling
+		}
+		addrs, _ := tr.Mem(maxInsts)
+		if maxInsts == 0 {
+			want = tr.NumMem()
+		}
+		if uint64(len(addrs)) != want {
+			t.Fatalf("Mem(%d): %d refs want %d", maxInsts, len(addrs), want)
+		}
+	}
+}
+
+// TestCaptureWorkload: capture works on a real workload and the footprint
+// estimate is in the expected compact range.
+func TestCaptureWorkload(t *testing.T) {
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Capture(w.Build(), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Insts() == 0 {
+		t.Fatal("empty trace")
+	}
+	perInst := float64(tr.Bytes()) / float64(tr.Insts())
+	// SoA layout: ~4 B/inst id + taken bit + addr per memref. Anything
+	// above 16 B/inst means the compact layout regressed.
+	if perInst > 16 {
+		t.Fatalf("trace footprint %.1f B/inst, want compact (<16)", perInst)
+	}
+}

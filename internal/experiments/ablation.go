@@ -4,6 +4,7 @@ import (
 	"perfclone/internal/baseline"
 	"perfclone/internal/bpred"
 	"perfclone/internal/cache"
+	"perfclone/internal/dyntrace"
 	"perfclone/internal/funcsim"
 	"perfclone/internal/prog"
 	"perfclone/internal/stats"
@@ -31,7 +32,7 @@ type AblationRow struct {
 // ablationPredictors are the predictor sweep of the ablation.
 var ablationPredictors = []string{"gap", "bimodal", "gshare", "not-taken", "taken"}
 
-// mispredUnder replays a program against one predictor.
+// mispredUnder replays a program against one predictor by executing it.
 func mispredUnder(p *prog.Program, predName string, maxInsts uint64) (float64, error) {
 	pred, err := bpred.ByName(predName)
 	if err != nil {
@@ -57,6 +58,48 @@ func mispredUnder(p *prog.Program, predName string, maxInsts uint64) (float64, e
 	return float64(miss) / float64(look), nil
 }
 
+// mispredFromTrace is mispredUnder over a captured trace: it walks the
+// static-id column and taken bitset directly, so a predictor sweep costs
+// no interpretation at all.
+func mispredFromTrace(t *dyntrace.Trace, predName string, maxInsts uint64) (float64, error) {
+	pred, err := bpred.ByName(predName)
+	if err != nil {
+		return 0, err
+	}
+	n := t.Insts()
+	if maxInsts > 0 && n > maxInsts {
+		n = maxInsts
+	}
+	statics := t.Statics()
+	sids := t.SIDs()
+	takenBits := t.TakenBits()
+	var look, miss uint64
+	for i := uint64(0); i < n; i++ {
+		st := &statics[sids[i]]
+		if !st.Branch {
+			continue
+		}
+		taken := takenBits[i>>6]>>(i&63)&1 == 1
+		look++
+		if pred.Predict(st.PC) != taken {
+			miss++
+		}
+		pred.Update(st.PC, taken)
+	}
+	if look == 0 {
+		return 0, nil
+	}
+	return float64(miss) / float64(look), nil
+}
+
+// mispredFor dispatches to the trace walk when t covers the budget.
+func mispredFor(p *prog.Program, t *dyntrace.Trace, predName string, maxInsts uint64) (float64, error) {
+	if traceCovers(t, maxInsts) {
+		return mispredFromTrace(t, predName, maxInsts)
+	}
+	return mispredUnder(p, predName, maxInsts)
+}
+
 // Ablation runs the baseline-vs-clone comparison for each pair. The
 // baseline clone is trained on the base configuration's L1D and
 // predictor; both clones are then swept across the 28 cache
@@ -76,15 +119,22 @@ func Ablation(pairs []*Pair, opts Options) ([]AblationRow, error) {
 		if err != nil {
 			return err
 		}
-		realMPI, err := CacheMPI(pr.Real, cfgs, opts.TimingInsts*2)
+		// The baseline clone is generated here, so its trace is captured
+		// here too — once, then shared by the cache sweep, the predictor
+		// sweep, and the training-point check below.
+		blTrace, err := dyntrace.Capture(bl.Program, traceBudget(opts))
 		if err != nil {
 			return err
 		}
-		cloneMPI, err := CacheMPI(pr.Clone.Program, cfgs, opts.TimingInsts*2)
+		realMPI, err := cacheMPIFor(pr.Real, pr.RealTrace, cfgs, opts.TimingInsts*2)
 		if err != nil {
 			return err
 		}
-		blMPI, err := CacheMPI(bl.Program, cfgs, opts.TimingInsts*2)
+		cloneMPI, err := cacheMPIFor(pr.Clone.Program, pr.CloneTrace, cfgs, opts.TimingInsts*2)
+		if err != nil {
+			return err
+		}
+		blMPI, err := cacheMPIFor(bl.Program, blTrace, cfgs, opts.TimingInsts*2)
 		if err != nil {
 			return err
 		}
@@ -109,15 +159,15 @@ func Ablation(pairs []*Pair, opts Options) ([]AblationRow, error) {
 
 		var cloneMAE, blMAE float64
 		for _, pn := range ablationPredictors {
-			realM, err := mispredUnder(pr.Real, pn, opts.TimingInsts)
+			realM, err := mispredFor(pr.Real, pr.RealTrace, pn, opts.TimingInsts)
 			if err != nil {
 				return err
 			}
-			cloneM, err := mispredUnder(pr.Clone.Program, pn, opts.TimingInsts)
+			cloneM, err := mispredFor(pr.Clone.Program, pr.CloneTrace, pn, opts.TimingInsts)
 			if err != nil {
 				return err
 			}
-			blM, err := mispredUnder(bl.Program, pn, opts.TimingInsts)
+			blM, err := mispredFor(bl.Program, blTrace, pn, opts.TimingInsts)
 			if err != nil {
 				return err
 			}
@@ -126,7 +176,7 @@ func Ablation(pairs []*Pair, opts Options) ([]AblationRow, error) {
 		}
 		n := float64(len(ablationPredictors))
 
-		blTrainMiss, err := cloneMissRateOn(bl.Program, train.Cache, opts.TimingInsts)
+		blTrainMiss, err := missRateFor(bl.Program, blTrace, train.Cache, opts.TimingInsts)
 		if err != nil {
 			return err
 		}
@@ -144,7 +194,8 @@ func Ablation(pairs []*Pair, opts Options) ([]AblationRow, error) {
 	return rows, err
 }
 
-// cloneMissRateOn replays a program's data stream on one cache config.
+// cloneMissRateOn replays a program's data stream on one cache config by
+// executing it.
 func cloneMissRateOn(p *prog.Program, cfg cache.Config, maxInsts uint64) (float64, error) {
 	c, err := cache.New(cfg)
 	if err != nil {
@@ -158,6 +209,24 @@ func cloneMissRateOn(p *prog.Program, cfg cache.Config, maxInsts uint64) (float6
 	}
 	if _, err := funcsim.RunProgram(p, funcsim.Limits{MaxInsts: maxInsts}, obs); err != nil {
 		return 0, err
+	}
+	return c.Stats().MissRate(), nil
+}
+
+// missRateFor computes the single-config miss rate from the captured
+// trace's packed reference stream when it covers the budget, else by
+// execution.
+func missRateFor(p *prog.Program, t *dyntrace.Trace, cfg cache.Config, maxInsts uint64) (float64, error) {
+	if !traceCovers(t, maxInsts) {
+		return cloneMissRateOn(p, cfg, maxInsts)
+	}
+	c, err := cache.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	addrs, stores := t.Mem(maxInsts)
+	for i, a := range addrs {
+		c.Access(a, stores[i>>6]>>(uint(i)&63)&1 == 1)
 	}
 	return c.Stats().MissRate(), nil
 }

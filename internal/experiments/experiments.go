@@ -8,10 +8,13 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"perfclone/internal/cache"
+	"perfclone/internal/dyntrace"
 	"perfclone/internal/funcsim"
 	"perfclone/internal/power"
 	"perfclone/internal/profile"
@@ -35,6 +38,10 @@ type Options struct {
 	// Parallel runs independent simulations on multiple goroutines
 	// (default: serial when false).
 	Parallel bool
+	// Workers caps the worker pool used when Parallel is set
+	// (0 = runtime.GOMAXPROCS(0)). Results are deterministic for any
+	// worker count; only wall time changes.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -53,15 +60,47 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Pair is one workload with its profile and synthetic clone.
+// Pair is one workload with its profile, synthetic clone, and the
+// captured dynamic traces every downstream experiment replays.
 type Pair struct {
 	Name    string
 	Real    *prog.Program
 	Profile *profile.Profile
 	Clone   *synth.Clone
+	// RealTrace and CloneTrace are each program's dynamic instruction
+	// stream, executed once in Prepare (with budget traceBudget) and
+	// shared read-only by every cache sweep, timing run, and predictor
+	// study — the interpreter never re-runs for these programs.
+	RealTrace  *dyntrace.Trace
+	CloneTrace *dyntrace.Trace
 }
 
-// Prepare profiles each selected workload and generates its clone.
+// traceBudget is the capture length: the largest dynamic-stream prefix
+// any experiment consumes (the Figure 4/5 cache sweep uses 2× the timing
+// budget; every timing run uses at most 1×).
+func traceBudget(opts Options) uint64 { return opts.TimingInsts * 2 }
+
+// traceCovers reports whether t can stand in for executing its program up
+// to maxInsts instructions: the trace must either contain the complete
+// run (halted) or at least maxInsts instructions. Consumers fall back to
+// execution-driven simulation when it cannot (e.g. a Pair built by hand,
+// or options asking for more instructions than Prepare captured).
+func traceCovers(t *dyntrace.Trace, maxInsts uint64) bool {
+	return t != nil && (t.Halted() || (maxInsts > 0 && t.Insts() >= maxInsts))
+}
+
+// runTimed times a program on cfg, replaying its captured trace when it
+// covers the requested window and executing otherwise. Replay is
+// bit-identical to execution (see uarch.Replay).
+func runTimed(p *prog.Program, t *dyntrace.Trace, cfg uarch.Config, lim uarch.Limits) (uarch.Stats, error) {
+	if traceCovers(t, lim.MaxInsts) {
+		return uarch.Replay(t, cfg, lim)
+	}
+	return uarch.RunLimits(p, cfg, lim)
+}
+
+// Prepare profiles each selected workload, generates its clone, and
+// captures both programs' dynamic traces for replay.
 func Prepare(opts Options) ([]*Pair, error) {
 	opts = opts.withDefaults()
 	pairs := make([]*Pair, len(opts.Workloads))
@@ -80,15 +119,37 @@ func Prepare(opts Options) ([]*Pair, error) {
 		if err != nil {
 			return fmt.Errorf("clone %s: %w", name, err)
 		}
-		pairs[i] = &Pair{Name: name, Real: p, Profile: prof, Clone: clone}
+		rt, err := dyntrace.Capture(p, traceBudget(opts))
+		if err != nil {
+			return fmt.Errorf("trace %s: %w", name, err)
+		}
+		ct, err := dyntrace.Capture(clone.Program, traceBudget(opts))
+		if err != nil {
+			return fmt.Errorf("trace %s clone: %w", name, err)
+		}
+		pairs[i] = &Pair{
+			Name: name, Real: p, Profile: prof, Clone: clone,
+			RealTrace: rt, CloneTrace: ct,
+		}
 		return nil
 	})
 	return pairs, err
 }
 
-// forEach runs fn over [0,n), optionally in parallel.
+// forEach runs fn over [0,n), optionally on a parallel worker pool sized
+// by Options.Workers (0 = runtime.GOMAXPROCS(0)). Work is handed out via
+// an atomic counter, so a grid whose cells have very different costs —
+// e.g. (workload × design change) — stays load-balanced. The first error
+// by index wins, matching serial semantics.
 func forEach(opts Options, n int, fn func(i int) error) error {
-	if !opts.Parallel {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if !opts.Parallel || workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
 				return err
@@ -97,16 +158,20 @@ func forEach(opts Options, n int, fn func(i int) error) error {
 		return nil
 	}
 	var wg sync.WaitGroup
+	var next atomic.Int64
 	errs := make([]error, n)
-	sem := make(chan struct{}, 8)
-	for i := 0; i < n; i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(i)
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
 	}
 	wg.Wait()
 	for _, e := range errs {
@@ -159,7 +224,9 @@ type Fig4Row struct {
 }
 
 // CacheMPI measures misses-per-instruction for every configuration in
-// cfgs by replaying the program's data reference stream once.
+// cfgs by executing the program and feeding its data reference stream to
+// all caches at once. Prefer CacheMPIFromTrace when a captured trace is
+// available — it produces identical numbers without the interpreter.
 func CacheMPI(p *prog.Program, cfgs []cache.Config, maxInsts uint64) ([]float64, error) {
 	rs, err := cache.NewReplaySet(cfgs)
 	if err != nil {
@@ -176,11 +243,47 @@ func CacheMPI(p *prog.Program, cfgs []cache.Config, maxInsts uint64) ([]float64,
 	if _, err := funcsim.RunProgram(p, funcsim.Limits{MaxInsts: maxInsts}, obs); err != nil {
 		return nil, err
 	}
+	if insts == 0 {
+		return nil, fmt.Errorf("experiments: %s retired no instructions; misses-per-instruction is undefined", p.Name)
+	}
 	mpi := make([]float64, len(cfgs))
 	for i, st := range rs.Stats() {
 		mpi[i] = float64(st.Misses) / float64(insts)
 	}
 	return mpi, nil
+}
+
+// CacheMPIFromTrace is CacheMPI over a captured trace: it replays the
+// packed data-reference stream of the first maxInsts instructions
+// (0 = whole trace) through every configuration, cache-major, with no
+// functional execution.
+func CacheMPIFromTrace(t *dyntrace.Trace, cfgs []cache.Config, maxInsts uint64) ([]float64, error) {
+	rs, err := cache.NewReplaySet(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	insts := t.Insts()
+	if maxInsts > 0 && insts > maxInsts {
+		insts = maxInsts
+	}
+	if insts == 0 {
+		return nil, fmt.Errorf("experiments: %s trace has no instructions; misses-per-instruction is undefined", t.Program().Name)
+	}
+	addrs, storeBits := t.Mem(insts)
+	rs.AccessStream(addrs, storeBits)
+	mpi := make([]float64, len(cfgs))
+	for i, st := range rs.Stats() {
+		mpi[i] = float64(st.Misses) / float64(insts)
+	}
+	return mpi, nil
+}
+
+// cacheMPIFor dispatches to trace replay when t covers the budget.
+func cacheMPIFor(p *prog.Program, t *dyntrace.Trace, cfgs []cache.Config, maxInsts uint64) ([]float64, error) {
+	if traceCovers(t, maxInsts) {
+		return CacheMPIFromTrace(t, cfgs, maxInsts)
+	}
+	return CacheMPI(p, cfgs, maxInsts)
 }
 
 // Fig4 reproduces Figure 4: per-workload Pearson correlation of real vs
@@ -191,11 +294,11 @@ func Fig4(pairs []*Pair, opts Options) ([]Fig4Row, error) {
 	rows := make([]Fig4Row, len(pairs))
 	err := forEach(opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		real, err := CacheMPI(pr.Real, cfgs, opts.TimingInsts*2)
+		real, err := cacheMPIFor(pr.Real, pr.RealTrace, cfgs, opts.TimingInsts*2)
 		if err != nil {
 			return err
 		}
-		clone, err := CacheMPI(pr.Clone.Program, cfgs, opts.TimingInsts*2)
+		clone, err := cacheMPIFor(pr.Clone.Program, pr.CloneTrace, cfgs, opts.TimingInsts*2)
 		if err != nil {
 			return err
 		}
@@ -271,11 +374,11 @@ func Fig6and7(pairs []*Pair, opts Options) ([]BaseRow, error) {
 	rows := make([]BaseRow, len(pairs))
 	err := forEach(opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		str, err := uarch.RunLimits(pr.Real, base, lim)
+		str, err := runTimed(pr.Real, pr.RealTrace, base, lim)
 		if err != nil {
 			return err
 		}
-		sts, err := uarch.RunLimits(pr.Clone.Program, base, lim)
+		sts, err := runTimed(pr.Clone.Program, pr.CloneTrace, base, lim)
 		if err != nil {
 			return err
 		}
@@ -345,11 +448,11 @@ func Table3(pairs []*Pair, opts Options) ([]DesignRow, []Table3Summary, error) {
 	bases := make([]baseline, len(pairs))
 	if err := forEach(opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		str, err := uarch.RunLimits(pr.Real, base, lim)
+		str, err := runTimed(pr.Real, pr.RealTrace, base, lim)
 		if err != nil {
 			return err
 		}
-		sts, err := uarch.RunLimits(pr.Clone.Program, base, lim)
+		sts, err := runTimed(pr.Clone.Program, pr.CloneTrace, base, lim)
 		if err != nil {
 			return err
 		}
@@ -362,51 +465,56 @@ func Table3(pairs []*Pair, opts Options) ([]DesignRow, []Table3Summary, error) {
 		return nil, nil, err
 	}
 
-	var rows []DesignRow
-	work := make([][]DesignRow, len(changes))
+	// One flat (design change × workload) grid, so the worker pool is
+	// never starved by a change whose simulations run long.
+	cfgs := make([]uarch.Config, len(changes))
 	for ci, ch := range changes {
-		cfg := ch.Apply(base)
-		perWorkload := make([]DesignRow, len(pairs))
-		if err := forEach(opts, len(pairs), func(i int) error {
-			pr := pairs[i]
-			str, err := uarch.RunLimits(pr.Real, cfg, lim)
-			if err != nil {
-				return err
-			}
-			sts, err := uarch.RunLimits(pr.Clone.Program, cfg, lim)
-			if err != nil {
-				return err
-			}
-			realPow := power.Estimate(str).AvgPower
-			clonePow := power.Estimate(sts).AvgPower
-			b := bases[i]
-			reIPC, err := stats.RelativeError(b.realIPC, str.IPC(), b.cloneIPC, sts.IPC())
-			if err != nil {
-				return err
-			}
-			rePow, err := stats.RelativeError(b.realPow, realPow, b.clonePow, clonePow)
-			if err != nil {
-				return err
-			}
-			perWorkload[i] = DesignRow{
-				Workload:     pr.Name,
-				Change:       ch.Name,
-				RealBaseIPC:  b.realIPC,
-				RealIPC:      str.IPC(),
-				CloneBaseIPC: b.cloneIPC,
-				CloneIPC:     sts.IPC(),
-				RealBasePow:  b.realPow,
-				RealPow:      realPow,
-				CloneBasePow: b.clonePow,
-				ClonePow:     clonePow,
-				RelErrIPC:    reIPC,
-				RelErrPow:    rePow,
-			}
-			return nil
-		}); err != nil {
-			return nil, nil, err
+		cfgs[ci] = ch.Apply(base)
+	}
+	work := make([][]DesignRow, len(changes))
+	for ci := range work {
+		work[ci] = make([]DesignRow, len(pairs))
+	}
+	var rows []DesignRow
+	if err := forEach(opts, len(changes)*len(pairs), func(j int) error {
+		ci, i := j/len(pairs), j%len(pairs)
+		ch, pr := changes[ci], pairs[i]
+		str, err := runTimed(pr.Real, pr.RealTrace, cfgs[ci], lim)
+		if err != nil {
+			return err
 		}
-		work[ci] = perWorkload
+		sts, err := runTimed(pr.Clone.Program, pr.CloneTrace, cfgs[ci], lim)
+		if err != nil {
+			return err
+		}
+		realPow := power.Estimate(str).AvgPower
+		clonePow := power.Estimate(sts).AvgPower
+		b := bases[i]
+		reIPC, err := stats.RelativeError(b.realIPC, str.IPC(), b.cloneIPC, sts.IPC())
+		if err != nil {
+			return err
+		}
+		rePow, err := stats.RelativeError(b.realPow, realPow, b.clonePow, clonePow)
+		if err != nil {
+			return err
+		}
+		work[ci][i] = DesignRow{
+			Workload:     pr.Name,
+			Change:       ch.Name,
+			RealBaseIPC:  b.realIPC,
+			RealIPC:      str.IPC(),
+			CloneBaseIPC: b.cloneIPC,
+			CloneIPC:     sts.IPC(),
+			RealBasePow:  b.realPow,
+			RealPow:      realPow,
+			CloneBasePow: b.clonePow,
+			ClonePow:     clonePow,
+			RelErrIPC:    reIPC,
+			RelErrPow:    rePow,
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
 
 	var summaries []Table3Summary

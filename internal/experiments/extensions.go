@@ -28,40 +28,43 @@ type PredictorRow struct {
 // extensionPredictors are swept in order.
 var extensionPredictors = []string{"gap", "gshare", "bimodal", "taken", "not-taken"}
 
-// PredictorSweep measures real and clone IPC under each predictor.
+// PredictorSweep measures real and clone IPC under each predictor. The
+// (predictor × workload) grid runs as one flat work list, each cell
+// replaying the pair's captured traces.
 func PredictorSweep(pairs []*Pair, opts Options) ([]PredictorRow, error) {
 	opts = opts.withDefaults()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
-	var rows []PredictorRow
-	for _, pn := range extensionPredictors {
-		cfg := base
-		cfg.Predictor = uarch.PredictorSpec(pn)
-		cfg.Name = "pred-" + pn
-		perWorkload := make([]PredictorRow, len(pairs))
-		if err := forEach(opts, len(pairs), func(i int) error {
-			pr := pairs[i]
-			str, err := uarch.RunLimits(pr.Real, cfg, lim)
-			if err != nil {
-				return err
-			}
-			sts, err := uarch.RunLimits(pr.Clone.Program, cfg, lim)
-			if err != nil {
-				return err
-			}
-			perWorkload[i] = PredictorRow{
-				Workload:  pr.Name,
-				Predictor: pn,
-				RealIPC:   str.IPC(),
-				CloneIPC:  sts.IPC(),
-				RealMiss:  str.MispredRate(),
-				CloneMiss: sts.MispredRate(),
-			}
-			return nil
-		}); err != nil {
-			return nil, err
+	cfgs := make([]uarch.Config, len(extensionPredictors))
+	for pi, pn := range extensionPredictors {
+		cfgs[pi] = base
+		cfgs[pi].Predictor = uarch.PredictorSpec(pn)
+		cfgs[pi].Name = "pred-" + pn
+	}
+	rows := make([]PredictorRow, len(extensionPredictors)*len(pairs))
+	err := forEach(opts, len(rows), func(j int) error {
+		pi, i := j/len(pairs), j%len(pairs)
+		pr := pairs[i]
+		str, err := runTimed(pr.Real, pr.RealTrace, cfgs[pi], lim)
+		if err != nil {
+			return err
 		}
-		rows = append(rows, perWorkload...)
+		sts, err := runTimed(pr.Clone.Program, pr.CloneTrace, cfgs[pi], lim)
+		if err != nil {
+			return err
+		}
+		rows[j] = PredictorRow{
+			Workload:  pr.Name,
+			Predictor: extensionPredictors[pi],
+			RealIPC:   str.IPC(),
+			CloneIPC:  sts.IPC(),
+			RealMiss:  str.MispredRate(),
+			CloneMiss: sts.MispredRate(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -114,19 +117,19 @@ func PrefetchStudy(pairs []*Pair, opts Options) ([]PrefetchRow, error) {
 	rows := make([]PrefetchRow, len(pairs))
 	err := forEach(opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		rOff, err := uarch.RunLimits(pr.Real, off, lim)
+		rOff, err := runTimed(pr.Real, pr.RealTrace, off, lim)
 		if err != nil {
 			return err
 		}
-		rOn, err := uarch.RunLimits(pr.Real, on, lim)
+		rOn, err := runTimed(pr.Real, pr.RealTrace, on, lim)
 		if err != nil {
 			return err
 		}
-		cOff, err := uarch.RunLimits(pr.Clone.Program, off, lim)
+		cOff, err := runTimed(pr.Clone.Program, pr.CloneTrace, off, lim)
 		if err != nil {
 			return err
 		}
-		cOn, err := uarch.RunLimits(pr.Clone.Program, on, lim)
+		cOn, err := runTimed(pr.Clone.Program, pr.CloneTrace, on, lim)
 		if err != nil {
 			return err
 		}
@@ -169,37 +172,39 @@ type L2Row struct {
 // so the smallest point behaves like no L2 at all).
 var l2Sizes = []int{16, 32, 64, 128, 256}
 
-// L2Sweep measures real and clone IPC across L2 sizes.
+// L2Sweep measures real and clone IPC across L2 sizes, as one flat
+// (size × workload) replay grid.
 func L2Sweep(pairs []*Pair, opts Options) ([]L2Row, error) {
 	opts = opts.withDefaults()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
-	var rows []L2Row
-	for _, kb := range l2Sizes {
-		cfg := base
-		cfg.L2 = cache.Config{Name: "L2", Size: kb << 10, Assoc: 4, LineSize: 64}
-		cfg.Name = fmt.Sprintf("l2-%dkb", kb)
-		perWorkload := make([]L2Row, len(pairs))
-		if err := forEach(opts, len(pairs), func(i int) error {
-			pr := pairs[i]
-			str, err := uarch.RunLimits(pr.Real, cfg, lim)
-			if err != nil {
-				return err
-			}
-			sts, err := uarch.RunLimits(pr.Clone.Program, cfg, lim)
-			if err != nil {
-				return err
-			}
-			perWorkload[i] = L2Row{
-				Workload: pr.Name, L2KB: kb,
-				RealIPC: str.IPC(), CloneIPC: sts.IPC(),
-				RealMiss: str.L2.MissRate(), CloneMiss: sts.L2.MissRate(),
-			}
-			return nil
-		}); err != nil {
-			return nil, err
+	cfgs := make([]uarch.Config, len(l2Sizes))
+	for si, kb := range l2Sizes {
+		cfgs[si] = base
+		cfgs[si].L2 = cache.Config{Name: "L2", Size: kb << 10, Assoc: 4, LineSize: 64}
+		cfgs[si].Name = fmt.Sprintf("l2-%dkb", kb)
+	}
+	rows := make([]L2Row, len(l2Sizes)*len(pairs))
+	err := forEach(opts, len(rows), func(j int) error {
+		si, i := j/len(pairs), j%len(pairs)
+		pr := pairs[i]
+		str, err := runTimed(pr.Real, pr.RealTrace, cfgs[si], lim)
+		if err != nil {
+			return err
 		}
-		rows = append(rows, perWorkload...)
+		sts, err := runTimed(pr.Clone.Program, pr.CloneTrace, cfgs[si], lim)
+		if err != nil {
+			return err
+		}
+		rows[j] = L2Row{
+			Workload: pr.Name, L2KB: l2Sizes[si],
+			RealIPC: str.IPC(), CloneIPC: sts.IPC(),
+			RealMiss: str.L2.MissRate(), CloneMiss: sts.L2.MissRate(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"perfclone/internal/cache"
+	"perfclone/internal/dyntrace"
+	"perfclone/internal/uarch"
+	"perfclone/internal/workloads"
+)
+
+// goldenWorkloads pin the replay-equivalence guarantee across distinct
+// behaviour classes: streaming (crc32), data-dependent control (qsort),
+// and strided/recursive access (fft).
+var goldenWorkloads = []string{"crc32", "qsort", "fft"}
+
+// TestReplayGoldenUarch proves the trace-replay timing path is
+// bit-identical to the execution-driven path: every field of uarch.Stats
+// must match, not just IPC.
+func TestReplayGoldenUarch(t *testing.T) {
+	base := uarch.BaseConfig()
+	lim := uarch.Limits{Warmup: 50_000, MaxInsts: 150_000}
+	for _, name := range goldenWorkloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := w.Build()
+		tr, err := dyntrace.Capture(p, lim.MaxInsts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec, err := uarch.RunLimits(p, base, lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := uarch.Replay(tr, base, lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(exec, replay) {
+			t.Errorf("%s: replay stats diverge from execution\nexec:   %+v\nreplay: %+v", name, exec, replay)
+		}
+		if exec.IPC() != replay.IPC() {
+			t.Errorf("%s: IPC %v (exec) != %v (replay)", name, exec.IPC(), replay.IPC())
+		}
+	}
+}
+
+// TestReplayGoldenCacheMPI proves the packed-stream cache replay produces
+// bit-identical misses-per-instruction across all 28 configurations.
+func TestReplayGoldenCacheMPI(t *testing.T) {
+	cfgs := cache.Sweep28()
+	const maxInsts = 200_000
+	for _, name := range goldenWorkloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := w.Build()
+		tr, err := dyntrace.Capture(p, maxInsts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec, err := CacheMPI(p, cfgs, maxInsts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay, err := CacheMPIFromTrace(tr, cfgs, maxInsts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exec) != len(replay) {
+			t.Fatalf("%s: %d vs %d configs", name, len(exec), len(replay))
+		}
+		for k := range exec {
+			if exec[k] != replay[k] {
+				t.Errorf("%s cfg %s: MPI %v (exec) != %v (replay)",
+					name, cfgs[k], exec[k], replay[k])
+			}
+		}
+	}
+}
+
+// TestParallelGridRace drives the atomic-counter work pool with more
+// workers than items and with the full flattened Table 3 grid; run under
+// `go test -race` it checks the pool for data races, and the comparison
+// against a serial run checks that results are independent of worker
+// count.
+func TestParallelGridRace(t *testing.T) {
+	opts := smallOpts()
+	opts.Parallel = true
+	opts.Workers = 8
+	pairs, err := Prepare(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4Par, err := Fig4(pairs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sumsPar, err := Table3(pairs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := opts
+	serial.Parallel = false
+	fig4Ser, err := Fig4(pairs, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sumsSer, err := Table3(pairs, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig4Par, fig4Ser) {
+		t.Error("Fig4 results depend on worker count")
+	}
+	if !reflect.DeepEqual(sumsPar, sumsSer) {
+		t.Error("Table3 summaries depend on worker count")
+	}
+}

@@ -30,11 +30,11 @@ func StatsimComparison(pairs []*Pair, opts Options) ([]StatsimRow, error) {
 	rows := make([]StatsimRow, len(pairs))
 	err := forEach(opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		detailed, err := uarch.RunLimits(pr.Real, base, lim)
+		detailed, err := runTimed(pr.Real, pr.RealTrace, base, lim)
 		if err != nil {
 			return err
 		}
-		clone, err := uarch.RunLimits(pr.Clone.Program, base, lim)
+		clone, err := runTimed(pr.Clone.Program, pr.CloneTrace, base, lim)
 		if err != nil {
 			return err
 		}

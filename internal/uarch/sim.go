@@ -3,10 +3,17 @@ package uarch
 import (
 	"perfclone/internal/bpred"
 	"perfclone/internal/cache"
+	"perfclone/internal/dyntrace"
 	"perfclone/internal/funcsim"
 	"perfclone/internal/isa"
 	"perfclone/internal/prog"
 )
+
+// streamChunk is the number of TraceInst records fed to the pipeline per
+// consume call. Execution-driven runs and trace replay both use it, so a
+// replayed stream hits the same chunk boundaries — and therefore the same
+// cycle-level behaviour — as the execution that captured it.
+const streamChunk = 1 << 16
 
 // Stats is the outcome of a timing run, including the activity counts the
 // power model consumes.
@@ -141,14 +148,14 @@ func Run(p *prog.Program, cfg Config, maxInsts uint64) (Stats, error) {
 	return RunLimits(p, cfg, Limits{MaxInsts: maxInsts})
 }
 
-// RunLimits executes the program functionally and times it on cfg.
-func RunLimits(p *prog.Program, cfg Config, lim Limits) (Stats, error) {
+// newSim builds a Sim for cfg with empty microarchitectural state.
+func newSim(cfg Config) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
-		return Stats{}, err
+		return nil, err
 	}
 	pred, err := bpred.ByName(string(cfg.Predictor))
 	if err != nil {
-		return Stats{}, err
+		return nil, err
 	}
 	s := &Sim{
 		cfg:            cfg,
@@ -165,11 +172,28 @@ func RunLimits(p *prog.Program, cfg Config, lim Limits) (Stats, error) {
 		s.regProducer[i] = -1
 	}
 	s.st.Config = cfg
+	return s, nil
+}
+
+// finish drains the pipeline and closes out the statistics.
+func (s *Sim) finish() Stats {
+	s.drain()
+	s.st.Cycles = s.cycle - s.measureFrom
+	s.finalizeStats()
+	return s.st
+}
+
+// RunLimits executes the program functionally and times it on cfg.
+func RunLimits(p *prog.Program, cfg Config, lim Limits) (Stats, error) {
+	s, err := newSim(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
 
 	// The functional front end produces the dynamic stream; the timing
 	// back end consumes it in chunks (trace-driven timing over the
 	// correct path, as in sim-outorder's in-order functional core).
-	trace := make([]TraceInst, 0, 1<<16)
+	trace := make([]TraceInst, 0, streamChunk)
 	var srcBuf [2]isa.Reg
 	obs := func(ev *funcsim.Event) error {
 		in := ev.Inst
@@ -202,10 +226,66 @@ func RunLimits(p *prog.Program, cfg Config, lim Limits) (Stats, error) {
 		return Stats{}, err
 	}
 	s.consume(trace)
-	s.drain()
-	s.st.Cycles = s.cycle - s.measureFrom
-	s.finalizeStats()
-	return s.st, nil
+	return s.finish(), nil
+}
+
+// Replay times a previously captured dynamic trace on cfg, producing
+// statistics bit-identical to RunLimits on the traced program (it feeds
+// the same stream through the same pipeline with the same streamChunk
+// boundaries) without re-running the functional simulator. The trace is
+// read-only here, so many Replay calls can share one trace concurrently —
+// this is what lets the evaluation pipeline execute each program once and
+// sweep every cache configuration and design change by replay.
+func Replay(t *dyntrace.Trace, cfg Config, lim Limits) (Stats, error) {
+	s, err := newSim(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	s.warmup = lim.Warmup
+	n := t.Insts()
+	if lim.MaxInsts > 0 && n > lim.MaxInsts {
+		n = lim.MaxInsts
+	}
+
+	// Per-static templates: everything but Addr and Taken is a property
+	// of the static instruction, so the per-dynamic-instruction work is
+	// two array reads, a bitset probe, and (for memory ops) one cursor
+	// advance into the packed address stream.
+	statics := t.Statics()
+	tmpl := make([]TraceInst, len(statics))
+	for i := range statics {
+		st := &statics[i]
+		tmpl[i] = TraceInst{
+			PC:     st.PC,
+			Class:  st.Class,
+			Dest:   st.Dest,
+			Src1:   st.Src1,
+			Src2:   st.Src2,
+			Branch: st.Branch,
+			Jump:   st.Jump,
+		}
+	}
+	sids := t.SIDs()
+	takenBits := t.TakenBits()
+	memAddr := t.MemAddrs()
+	chunk := make([]TraceInst, 0, streamChunk)
+	mi := 0
+	for i := uint64(0); i < n; i++ {
+		sid := sids[i]
+		ti := tmpl[sid]
+		if statics[sid].Mem {
+			ti.Addr = memAddr[mi]
+			mi++
+		}
+		ti.Taken = takenBits[i>>6]>>(i&63)&1 == 1
+		chunk = append(chunk, ti)
+		if len(chunk) == cap(chunk) {
+			s.consume(chunk)
+			chunk = chunk[:0]
+		}
+	}
+	s.consume(chunk)
+	return s.finish(), nil
 }
 
 // RunTrace times a synthetic instruction stream instead of a program: gen
@@ -213,28 +293,10 @@ func RunLimits(p *prog.Program, cfg Config, lim Limits) (Stats, error) {
 // the entry point statistical simulation (internal/statsim) uses — no
 // functional execution is involved.
 func RunTrace(cfg Config, lim Limits, n uint64, gen func(i uint64) TraceInst) (Stats, error) {
-	if err := cfg.Validate(); err != nil {
-		return Stats{}, err
-	}
-	pred, err := bpred.ByName(string(cfg.Predictor))
+	s, err := newSim(cfg)
 	if err != nil {
 		return Stats{}, err
 	}
-	s := &Sim{
-		cfg:            cfg,
-		pred:           pred,
-		l1i:            cache.MustNew(cfg.L1I),
-		l1d:            cache.MustNew(cfg.L1D),
-		l2:             cache.MustNew(cfg.L2),
-		rob:            make([]robEntry, cfg.ROBSize),
-		pendingMispred: -1,
-		intDivFree:     make([]uint64, cfg.IntMulDiv),
-		fpDivFree:      make([]uint64, cfg.FPMulDiv),
-	}
-	for i := range s.regProducer {
-		s.regProducer[i] = -1
-	}
-	s.st.Config = cfg
 	s.warmup = lim.Warmup
 	if lim.MaxInsts > 0 && n > lim.MaxInsts {
 		n = lim.MaxInsts
@@ -248,10 +310,7 @@ func RunTrace(cfg Config, lim Limits, n uint64, gen func(i uint64) TraceInst) (S
 		}
 	}
 	s.consume(chunk)
-	s.drain()
-	s.st.Cycles = s.cycle - s.measureFrom
-	s.finalizeStats()
-	return s.st, nil
+	return s.finish(), nil
 }
 
 // resetForMeasurement zeroes statistics at the warmup boundary while
