@@ -87,7 +87,10 @@ func BenchmarkFig5Rankings(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		pts := experiments.Fig5(rows)
+		pts, err := experiments.Fig5(rows)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var xr, xc []float64
 		for _, p := range pts {
 			xr = append(xr, p.RealRank)

@@ -4,15 +4,27 @@
 //
 //	experiments [-run all|fig3|fig4|fig5|fig6|fig7|table3|fig8|fig9|ablation]
 //	            [-workloads a,b,c] [-parallel] [-insts N]
+//	            [-store DIR] [-resume] [-progress]
+//
+// With -store, captured traces, collected profiles, and finished grid
+// cells persist under DIR; an interrupted run (^C) reports how far it
+// got and -resume picks up from the checkpoints, skipping every cell
+// that already finished.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 
 	"perfclone/internal/experiments"
+	"perfclone/internal/store"
 )
 
 func main() {
@@ -21,20 +33,113 @@ func main() {
 	parallel := flag.Bool("parallel", true, "run independent simulations concurrently")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel runs (0 = GOMAXPROCS)")
 	insts := flag.Uint64("insts", 0, "timing-simulation instruction budget per run (default 500000)")
+	storeDir := flag.String("store", "", "directory for the durable trace/profile store and checkpoints")
+	resume := flag.Bool("resume", false, "skip grid cells checkpointed by a previous -store run (requires -store)")
+	progress := flag.Bool("progress", false, "print one line per finished grid cell (stage summaries always print)")
 	flag.Parse()
 
-	opts := experiments.Options{Parallel: *parallel, Workers: *workers, TimingInsts: *insts}
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -store")
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{Parallel: *parallel, Workers: *workers, TimingInsts: *insts, Resume: *resume}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
 	}
-	if err := execute(*run, opts); err != nil {
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		opts.Store = st
+	}
+
+	// First ^C cancels the run cooperatively: workers stop claiming
+	// cells, in-flight simulations abort at their next context poll, and
+	// every finished cell is already checkpointed. stop() re-arms default
+	// signal handling, so a second ^C kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	tr := &tracker{verbose: *progress}
+	opts.Progress = tr.observe
+
+	err := execute(ctx, *run, opts)
+	if opts.Store != nil {
+		c := opts.Store.Counters()
+		fmt.Fprintf(os.Stderr, "store: traces %d hits / %d misses; profiles %d hits / %d misses\n",
+			c.TraceHits, c.TraceMisses, c.ProfileHits, c.ProfileMisses)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			done, total := tr.cells()
+			fmt.Fprintf(os.Stderr, "experiments: interrupted; resumable at %d/%d cells", done, total)
+			if opts.Store != nil {
+				fmt.Fprintf(os.Stderr, " — re-run with -store %s -resume to continue", *storeDir)
+			} else {
+				fmt.Fprint(os.Stderr, " — progress was not persisted (no -store)")
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func execute(run string, opts experiments.Options) error {
-	pairs, err := experiments.Prepare(opts)
+// tracker aggregates progress events into per-stage and whole-run cell
+// counts for the stderr report.
+type tracker struct {
+	verbose bool
+
+	mu     sync.Mutex
+	stages []string
+	counts map[string][2]int // stage -> {done, total}
+}
+
+func (tr *tracker) observe(ev experiments.Event) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.counts == nil {
+		tr.counts = make(map[string][2]int)
+	}
+	if _, ok := tr.counts[ev.Stage]; !ok {
+		tr.stages = append(tr.stages, ev.Stage)
+	}
+	tr.counts[ev.Stage] = [2]int{ev.Done, ev.Total}
+	if ev.Cell == "" {
+		fmt.Fprintf(os.Stderr, "[%s] %d/%d cells in %s\n", ev.Stage, ev.Done, ev.Total, ev.Elapsed.Round(1e6))
+		return
+	}
+	if tr.verbose {
+		state := "computed"
+		if ev.Cached {
+			state = "cached"
+		}
+		fmt.Fprintf(os.Stderr, "[%s] %s: %s (%d/%d, %s)\n", ev.Stage, ev.Cell, state, ev.Done, ev.Total, ev.Elapsed.Round(1e6))
+	}
+}
+
+// cells sums finished and planned cells across every stage started so far.
+func (tr *tracker) cells() (done, total int) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, s := range tr.stages {
+		c := tr.counts[s]
+		done += c[0]
+		total += c[1]
+	}
+	return done, total
+}
+
+func execute(ctx context.Context, run string, opts experiments.Options) error {
+	pairs, err := experiments.PrepareContext(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -47,7 +152,7 @@ func execute(run string, opts experiments.Options) error {
 	}
 	var fig4 []experiments.Fig4Row
 	if want("fig4") || want("fig5") {
-		fig4, err = experiments.Fig4(pairs, opts)
+		fig4, err = experiments.Fig4Context(ctx, pairs, opts)
 		if err != nil {
 			return err
 		}
@@ -57,11 +162,15 @@ func execute(run string, opts experiments.Options) error {
 		fmt.Fprintln(out)
 	}
 	if want("fig5") {
-		experiments.PrintFig5(out, experiments.Fig5(fig4))
+		pts, err := experiments.Fig5(fig4)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig5(out, pts)
 		fmt.Fprintln(out)
 	}
 	if want("fig6") || want("fig7") {
-		rows, err := experiments.Fig6and7(pairs, opts)
+		rows, err := experiments.Fig6and7Context(ctx, pairs, opts)
 		if err != nil {
 			return err
 		}
@@ -69,7 +178,7 @@ func execute(run string, opts experiments.Options) error {
 		fmt.Fprintln(out)
 	}
 	if want("table3") || want("fig8") || want("fig9") {
-		rows, sums, err := experiments.Table3(pairs, opts)
+		rows, sums, err := experiments.Table3Context(ctx, pairs, opts)
 		if err != nil {
 			return err
 		}
@@ -83,7 +192,7 @@ func execute(run string, opts experiments.Options) error {
 		}
 	}
 	if want("ablation") {
-		rows, err := experiments.Ablation(pairs, opts)
+		rows, err := experiments.AblationContext(ctx, pairs, opts)
 		if err != nil {
 			return err
 		}
@@ -91,7 +200,7 @@ func execute(run string, opts experiments.Options) error {
 		fmt.Fprintln(out)
 	}
 	if run == "predsweep" || run == "ext" {
-		rows, err := experiments.PredictorSweep(pairs, opts)
+		rows, err := experiments.PredictorSweepContext(ctx, pairs, opts)
 		if err != nil {
 			return err
 		}
@@ -99,7 +208,7 @@ func execute(run string, opts experiments.Options) error {
 		fmt.Fprintln(out)
 	}
 	if run == "l2sweep" || run == "ext" {
-		rows, err := experiments.L2Sweep(pairs, opts)
+		rows, err := experiments.L2SweepContext(ctx, pairs, opts)
 		if err != nil {
 			return err
 		}
@@ -107,7 +216,7 @@ func execute(run string, opts experiments.Options) error {
 		fmt.Fprintln(out)
 	}
 	if run == "prefetch" || run == "ext" {
-		rows, err := experiments.PrefetchStudy(pairs, opts)
+		rows, err := experiments.PrefetchStudyContext(ctx, pairs, opts)
 		if err != nil {
 			return err
 		}
@@ -115,7 +224,7 @@ func execute(run string, opts experiments.Options) error {
 		fmt.Fprintln(out)
 	}
 	if run == "statsim" || run == "ext" {
-		rows, err := experiments.StatsimComparison(pairs, opts)
+		rows, err := experiments.StatsimComparisonContext(ctx, pairs, opts)
 		if err != nil {
 			return err
 		}
@@ -123,7 +232,7 @@ func execute(run string, opts experiments.Options) error {
 		fmt.Fprintln(out)
 	}
 	if run == "inputs" || run == "ext" {
-		rows, err := experiments.InputSensitivity(opts)
+		rows, err := experiments.InputSensitivityContext(ctx, opts)
 		if err != nil {
 			return err
 		}

@@ -18,6 +18,7 @@ import (
 
 	"perfclone/internal/cache"
 	"perfclone/internal/profile"
+	"perfclone/internal/store"
 	"perfclone/internal/trace"
 	"perfclone/internal/workloads"
 )
@@ -27,9 +28,10 @@ func main() {
 	profIn := flag.String("profile-in", "", "use a saved profile JSON instead")
 	n := flag.Int("n", 100_000, "number of references to generate")
 	replay := flag.String("replay", "", "instead of printing, replay against a cache of this size (e.g. 4KB)")
+	storeDir := flag.String("store", "", "directory for the durable profile store (reuses a cached profile when present)")
 	flag.Parse()
 
-	if err := run(*name, *profIn, *n, *replay); err != nil {
+	if err := run(*name, *profIn, *n, *replay, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
@@ -53,7 +55,8 @@ func parseSize(s string) (int, error) {
 	return v * mult, nil
 }
 
-func run(name, profIn string, n int, replay string) error {
+func run(name, profIn string, n int, replay, storeDir string) error {
+	const profileInsts = 1_000_000
 	var prof *profile.Profile
 	if profIn != "" {
 		f, err := os.Open(profIn)
@@ -70,9 +73,30 @@ func run(name, profIn string, n int, replay string) error {
 		if err != nil {
 			return err
 		}
-		prof, err = profile.Collect(w.Build(), profile.Options{MaxInsts: 1_000_000})
-		if err != nil {
-			return err
+		p := w.Build()
+		var st *store.Store
+		var hash string
+		if storeDir != "" {
+			st, err = store.Open(storeDir)
+			if err != nil {
+				return err
+			}
+			hash = store.ProgramHash(p)
+			prof, _, err = st.LoadProfile(name, hash, profileInsts)
+			if err != nil {
+				return err
+			}
+		}
+		if prof == nil {
+			prof, err = profile.Collect(p, profile.Options{MaxInsts: profileInsts})
+			if err != nil {
+				return err
+			}
+			if st != nil {
+				if err := st.SaveProfile(name, hash, profileInsts, prof); err != nil {
+					return err
+				}
+			}
 		}
 	}
 

@@ -3,7 +3,10 @@
 // as the memory hierarchy of the timing simulator (internal/uarch).
 package cache
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Policy selects the replacement policy.
 type Policy string
@@ -451,11 +454,30 @@ func (rs *ReplaySet) Access(addr uint64, write bool) {
 // stream; the caches are independent, so the statistics are identical to
 // interleaved delivery via Access.
 func (rs *ReplaySet) AccessStream(addrs []uint64, storeBits []uint64) {
+	rs.AccessStreamContext(context.Background(), addrs, storeBits)
+}
+
+// accessStreamCheckEvery is how many references AccessStreamContext
+// replays between cancellation checks: coarse enough to cost nothing on
+// the hot path, fine enough that Ctrl-C interrupts a 28-configuration
+// sweep within milliseconds.
+const accessStreamCheckEvery = 1 << 16
+
+// AccessStreamContext is AccessStream with cooperative cancellation: a
+// full sweep replays len(addrs)×len(caches) references, so long grids
+// poll ctx every accessStreamCheckEvery references and abandon the sweep
+// (returning ctx.Err()) once it is cancelled.
+func (rs *ReplaySet) AccessStreamContext(ctx context.Context, addrs []uint64, storeBits []uint64) error {
+	done := ctx.Done()
 	for _, c := range rs.caches {
 		for i, a := range addrs {
+			if done != nil && i%accessStreamCheckEvery == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			c.Access(a, storeBits[i>>6]>>(uint(i)&63)&1 == 1)
 		}
 	}
+	return nil
 }
 
 // Stats returns per-configuration statistics, in input order.

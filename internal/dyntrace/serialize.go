@@ -1,0 +1,195 @@
+package dyntrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"perfclone/internal/prog"
+)
+
+// On-disk trace format (all integers little-endian):
+//
+//	magic   [4]byte "PCDT"
+//	version uint32  (currently 1)
+//	nameLen uint32, name []byte
+//	insts   uint64
+//	halted  uint8
+//	nSid, nTaken, nMemAddr, nMemStore uint64
+//	sid      []uint32
+//	taken    []uint64
+//	memAddr  []uint64
+//	memStore []uint64
+//	crc32    uint32  (IEEE, over everything after the version field)
+//
+// The static table is NOT serialized: it is a pure function of the traced
+// program, and the store keys trace files by a hash of that program, so
+// Load rebuilds it with buildStatic and then cross-checks the dynamic
+// columns against it (see Trace.check). That keeps the format free of
+// isa enum encodings and makes a program/trace mismatch a load-time error
+// instead of a silent misreplay.
+
+const (
+	traceMagic   = "PCDT"
+	traceVersion = 1
+)
+
+// Save writes the trace in the versioned binary format.
+func (t *Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return fmt.Errorf("dyntrace: save %s: %w", t.prog.Name, err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(traceVersion)); err != nil {
+		return fmt.Errorf("dyntrace: save %s: %w", t.prog.Name, err)
+	}
+	crc := crc32.NewIEEE()
+	cw := io.MultiWriter(bw, crc)
+	name := []byte(t.prog.Name)
+	write := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	halted := uint8(0)
+	if t.halted {
+		halted = 1
+	}
+	err := write(
+		uint32(len(name)), name,
+		t.insts, halted,
+		uint64(len(t.sid)), uint64(len(t.taken)),
+		uint64(len(t.memAddr)), uint64(len(t.memStore)),
+		t.sid, t.taken, t.memAddr, t.memStore,
+	)
+	if err == nil {
+		err = binary.Write(bw, binary.LittleEndian, crc.Sum32())
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		return fmt.Errorf("dyntrace: save %s: %w", t.prog.Name, err)
+	}
+	return nil
+}
+
+// Load reads a trace written by Save and attaches it to p, the program it
+// was captured from. The static table is rebuilt from p and the dynamic
+// columns are self-checked against it, so feeding a trace to the wrong
+// program (or a corrupted file) fails here rather than during replay.
+func Load(r io.Reader, p *prog.Program) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dyntrace: load: %w", err)
+	}
+	if string(magic[:]) != traceMagic {
+		return nil, fmt.Errorf("dyntrace: load: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("dyntrace: load: %w", err)
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("dyntrace: load: unsupported version %d (want %d)", version, traceVersion)
+	}
+	crc := crc32.NewIEEE()
+	cr := io.TeeReader(br, crc)
+	read := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var nameLen uint32
+	if err := read(&nameLen); err != nil {
+		return nil, fmt.Errorf("dyntrace: load: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("dyntrace: load: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(cr, name); err != nil {
+		return nil, fmt.Errorf("dyntrace: load: %w", err)
+	}
+	var (
+		insts                             uint64
+		halted                            uint8
+		nSid, nTaken, nMemAddr, nMemStore uint64
+	)
+	if err := read(&insts, &halted, &nSid, &nTaken, &nMemAddr, &nMemStore); err != nil {
+		return nil, fmt.Errorf("dyntrace: load %s: %w", name, err)
+	}
+	const maxColumn = 1 << 33 // ~8G entries; far beyond any capture budget
+	if nSid > maxColumn || nTaken > maxColumn || nMemAddr > maxColumn || nMemStore > maxColumn {
+		return nil, fmt.Errorf("dyntrace: load %s: implausible column lengths %d/%d/%d/%d",
+			name, nSid, nTaken, nMemAddr, nMemStore)
+	}
+	static, _ := buildStatic(p)
+	t := &Trace{
+		prog:     p,
+		static:   static,
+		sid:      make([]uint32, nSid),
+		taken:    make([]uint64, nTaken),
+		memAddr:  make([]uint64, nMemAddr),
+		memStore: make([]uint64, nMemStore),
+		insts:    insts,
+		halted:   halted != 0,
+	}
+	if err := read(t.sid, t.taken, t.memAddr, t.memStore); err != nil {
+		return nil, fmt.Errorf("dyntrace: load %s: %w", name, err)
+	}
+	sum := crc.Sum32()
+	var want uint32
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, fmt.Errorf("dyntrace: load %s: %w", name, err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("dyntrace: load %s: checksum mismatch (file %08x, computed %08x)", name, want, sum)
+	}
+	if string(name) != p.Name {
+		return nil, fmt.Errorf("dyntrace: load: trace is for %q, not %q", name, p.Name)
+	}
+	if err := t.check(); err != nil {
+		return nil, fmt.Errorf("dyntrace: load %s: %w", name, err)
+	}
+	return t, nil
+}
+
+// check validates the dynamic columns against each other and against the
+// static table rebuilt from the program. Capture always produces traces
+// that pass; Load runs it so corruption or a program mismatch surfaces
+// before any consumer replays garbage.
+func (t *Trace) check() error {
+	if t.insts != uint64(len(t.sid)) {
+		return fmt.Errorf("insts %d != static-id column length %d", t.insts, len(t.sid))
+	}
+	if want := (t.insts + 63) / 64; uint64(len(t.taken)) != want {
+		return fmt.Errorf("taken bitset has %d words, want %d for %d instructions", len(t.taken), want, t.insts)
+	}
+	if want := (uint64(len(t.memAddr)) + 63) / 64; uint64(len(t.memStore)) != want {
+		return fmt.Errorf("store bitset has %d words, want %d for %d references", len(t.memStore), want, len(t.memAddr))
+	}
+	nStatic := uint32(len(t.static))
+	var memRefs uint64
+	for i, sid := range t.sid {
+		if sid >= nStatic {
+			return fmt.Errorf("dynamic instruction %d has static id %d, table has %d entries", i, sid, nStatic)
+		}
+		if t.static[sid].Mem {
+			memRefs++
+		}
+	}
+	if memRefs != uint64(len(t.memAddr)) {
+		return fmt.Errorf("static-id column implies %d memory references, address column has %d", memRefs, len(t.memAddr))
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"perfclone/internal/baseline"
 	"perfclone/internal/bpred"
 	"perfclone/internal/cache"
@@ -105,6 +107,12 @@ func mispredFor(p *prog.Program, t *dyntrace.Trace, predName string, maxInsts ui
 // predictor; both clones are then swept across the 28 cache
 // configurations and the predictor set.
 func Ablation(pairs []*Pair, opts Options) ([]AblationRow, error) {
+	return AblationContext(context.Background(), pairs, opts)
+}
+
+// AblationContext is Ablation with cancellation and per-workload
+// checkpointing (stage "ablation").
+func AblationContext(ctx context.Context, pairs []*Pair, opts Options) ([]AblationRow, error) {
 	opts = opts.withDefaults()
 	train := baseline.TrainingConfig{
 		Cache:     cache.Config{Size: 16 << 10, Assoc: 2, LineSize: 32},
@@ -112,84 +120,94 @@ func Ablation(pairs []*Pair, opts Options) ([]AblationRow, error) {
 		MaxInsts:  opts.TimingInsts,
 	}
 	cfgs := cache.Sweep28()
+	sr, err := newStage(opts, "ablation", len(pairs))
+	if err != nil {
+		return nil, err
+	}
+	defer sr.close()
 	rows := make([]AblationRow, len(pairs))
-	err := forEach(opts, len(pairs), func(i int) error {
+	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		bl, targets, err := baseline.Generate(pr.Real, pr.Profile, train, synth.Config{})
-		if err != nil {
-			return err
-		}
-		// The baseline clone is generated here, so its trace is captured
-		// here too — once, then shared by the cache sweep, the predictor
-		// sweep, and the training-point check below.
-		blTrace, err := dyntrace.Capture(bl.Program, traceBudget(opts))
-		if err != nil {
-			return err
-		}
-		realMPI, err := cacheMPIFor(pr.Real, pr.RealTrace, cfgs, opts.TimingInsts*2)
-		if err != nil {
-			return err
-		}
-		cloneMPI, err := cacheMPIFor(pr.Clone.Program, pr.CloneTrace, cfgs, opts.TimingInsts*2)
-		if err != nil {
-			return err
-		}
-		blMPI, err := cacheMPIFor(bl.Program, blTrace, cfgs, opts.TimingInsts*2)
-		if err != nil {
-			return err
-		}
-		rel := func(v []float64) []float64 {
-			out := make([]float64, len(v)-1)
-			for k := 1; k < len(v); k++ {
-				out[k-1] = v[k] - v[0]
+		return stageCell(sr, pr.Name, &rows[i], func() error {
+			bl, targets, err := baseline.Generate(pr.Real, pr.Profile, train, synth.Config{})
+			if err != nil {
+				return err
 			}
-			return out
-		}
-		// Zero variance (a clone whose miss behaviour does not change
-		// across configurations at all) counts as zero correlation —
-		// that *is* the failure mode being measured.
-		cloneR, err := stats.Pearson(rel(cloneMPI), rel(realMPI))
-		if err != nil {
-			cloneR = 0
-		}
-		blR, err := stats.Pearson(rel(blMPI), rel(realMPI))
-		if err != nil {
-			blR = 0
-		}
+			// The baseline clone is generated here, so its trace is captured
+			// here too — once, then shared by the cache sweep, the predictor
+			// sweep, and the training-point check below.
+			blTrace, err := dyntrace.Capture(bl.Program, traceBudget(opts))
+			if err != nil {
+				return err
+			}
+			realMPI, err := cacheMPIFor(ctx, pr.Real, pr.RealTrace, cfgs, opts.TimingInsts*2)
+			if err != nil {
+				return err
+			}
+			cloneMPI, err := cacheMPIFor(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, opts.TimingInsts*2)
+			if err != nil {
+				return err
+			}
+			blMPI, err := cacheMPIFor(ctx, bl.Program, blTrace, cfgs, opts.TimingInsts*2)
+			if err != nil {
+				return err
+			}
+			rel := func(v []float64) []float64 {
+				out := make([]float64, len(v)-1)
+				for k := 1; k < len(v); k++ {
+					out[k-1] = v[k] - v[0]
+				}
+				return out
+			}
+			// Zero variance (a clone whose miss behaviour does not change
+			// across configurations at all) counts as zero correlation —
+			// that *is* the failure mode being measured.
+			cloneR, err := stats.Pearson(rel(cloneMPI), rel(realMPI))
+			if err != nil {
+				cloneR = 0
+			}
+			blR, err := stats.Pearson(rel(blMPI), rel(realMPI))
+			if err != nil {
+				blR = 0
+			}
 
-		var cloneMAE, blMAE float64
-		for _, pn := range ablationPredictors {
-			realM, err := mispredFor(pr.Real, pr.RealTrace, pn, opts.TimingInsts)
-			if err != nil {
-				return err
+			var cloneMAE, blMAE float64
+			for _, pn := range ablationPredictors {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				realM, err := mispredFor(pr.Real, pr.RealTrace, pn, opts.TimingInsts)
+				if err != nil {
+					return err
+				}
+				cloneM, err := mispredFor(pr.Clone.Program, pr.CloneTrace, pn, opts.TimingInsts)
+				if err != nil {
+					return err
+				}
+				blM, err := mispredFor(bl.Program, blTrace, pn, opts.TimingInsts)
+				if err != nil {
+					return err
+				}
+				cloneMAE += absF(cloneM - realM)
+				blMAE += absF(blM - realM)
 			}
-			cloneM, err := mispredFor(pr.Clone.Program, pr.CloneTrace, pn, opts.TimingInsts)
-			if err != nil {
-				return err
-			}
-			blM, err := mispredFor(bl.Program, blTrace, pn, opts.TimingInsts)
-			if err != nil {
-				return err
-			}
-			cloneMAE += absF(cloneM - realM)
-			blMAE += absF(blM - realM)
-		}
-		n := float64(len(ablationPredictors))
+			n := float64(len(ablationPredictors))
 
-		blTrainMiss, err := missRateFor(bl.Program, blTrace, train.Cache, opts.TimingInsts)
-		if err != nil {
-			return err
-		}
-		rows[i] = AblationRow{
-			Workload:           pr.Name,
-			CloneR:             cloneR,
-			BaselineR:          blR,
-			CloneMispredMAE:    cloneMAE / n,
-			BaselineMispredMAE: blMAE / n,
-			TrainMissReal:      targets.MissRate,
-			TrainMissBaseline:  blTrainMiss,
-		}
-		return nil
+			blTrainMiss, err := missRateFor(bl.Program, blTrace, train.Cache, opts.TimingInsts)
+			if err != nil {
+				return err
+			}
+			rows[i] = AblationRow{
+				Workload:           pr.Name,
+				CloneR:             cloneR,
+				BaselineR:          blR,
+				CloneMispredMAE:    cloneMAE / n,
+				BaselineMispredMAE: blMAE / n,
+				TrainMissReal:      targets.MissRate,
+				TrainMissBaseline:  blTrainMiss,
+			}
+			return nil
+		})
 	})
 	return rows, err
 }

@@ -7,11 +7,14 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"perfclone/internal/cache"
 	"perfclone/internal/dyntrace"
@@ -20,6 +23,7 @@ import (
 	"perfclone/internal/profile"
 	"perfclone/internal/prog"
 	"perfclone/internal/stats"
+	"perfclone/internal/store"
 	"perfclone/internal/synth"
 	"perfclone/internal/uarch"
 	"perfclone/internal/workloads"
@@ -42,6 +46,37 @@ type Options struct {
 	// (0 = runtime.GOMAXPROCS(0)). Results are deterministic for any
 	// worker count; only wall time changes.
 	Workers int
+	// Store durably caches captured traces and collected profiles, and
+	// records finished grid cells as checkpoints (nil = everything stays
+	// in memory and every run starts from scratch).
+	Store *store.Store
+	// Resume reuses checkpointed grid cells from a previous interrupted
+	// run instead of recomputing them. Requires Store. Rows restored from
+	// a checkpoint are byte-identical to freshly computed ones (pinned by
+	// TestResumeByteIdentical).
+	Resume bool
+	// Progress, when non-nil, receives one Event per finished grid cell
+	// and one stage-summary Event (Cell == "") per completed stage.
+	// Callbacks are serialized; they may be invoked from worker
+	// goroutines.
+	Progress func(Event)
+}
+
+// Event is one progress notification: a finished grid cell, or — with
+// Cell empty — a completed stage.
+type Event struct {
+	// Stage is the checkpoint stage name ("prepare", "fig4", "table3", …).
+	Stage string
+	// Cell identifies the finished cell ("" for a stage summary).
+	Cell string
+	// Done and Total count cells finished/planned in this stage.
+	Done, Total int
+	// Cached reports that the cell was restored from a checkpoint (or,
+	// for prepare, that every artifact came from the store).
+	Cached bool
+	// Elapsed is the cell's compute time, or the stage's wall time for a
+	// summary event.
+	Elapsed time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -51,11 +86,17 @@ func (o Options) withDefaults() Options {
 	if o.ProfileInsts == 0 {
 		o.ProfileInsts = 1_000_000
 	}
-	if o.TimingWarmup == 0 {
-		o.TimingWarmup = 150_000
-	}
 	if o.TimingInsts == 0 {
 		o.TimingInsts = 500_000
+	}
+	if o.TimingWarmup == 0 {
+		o.TimingWarmup = 150_000
+		// A defaulted warmup must not consume the whole timing budget
+		// (e.g. -insts 150000): zero timed instructions would make every
+		// IPC 0 and every relative error degenerate.
+		if o.TimingWarmup >= o.TimingInsts {
+			o.TimingWarmup = o.TimingInsts / 4
+		}
 	}
 	return o
 }
@@ -91,46 +132,105 @@ func traceCovers(t *dyntrace.Trace, maxInsts uint64) bool {
 
 // runTimed times a program on cfg, replaying its captured trace when it
 // covers the requested window and executing otherwise. Replay is
-// bit-identical to execution (see uarch.Replay).
-func runTimed(p *prog.Program, t *dyntrace.Trace, cfg uarch.Config, lim uarch.Limits) (uarch.Stats, error) {
+// bit-identical to execution (see uarch.Replay). Cancelling ctx aborts
+// within one pipeline chunk.
+func runTimed(ctx context.Context, p *prog.Program, t *dyntrace.Trace, cfg uarch.Config, lim uarch.Limits) (uarch.Stats, error) {
 	if traceCovers(t, lim.MaxInsts) {
-		return uarch.Replay(t, cfg, lim)
+		return uarch.ReplayContext(ctx, t, cfg, lim)
 	}
-	return uarch.RunLimits(p, cfg, lim)
+	return uarch.RunLimitsContext(ctx, p, cfg, lim)
 }
 
 // Prepare profiles each selected workload, generates its clone, and
 // captures both programs' dynamic traces for replay.
 func Prepare(opts Options) ([]*Pair, error) {
+	return PrepareContext(context.Background(), opts)
+}
+
+// PrepareContext is Prepare with cancellation and store reuse: when
+// opts.Store is set, each workload's profile and both dynamic traces are
+// looked up by (name, program hash, budget) before anything executes, and
+// captured artifacts are written back, so a later run — or a crashed
+// run's successor — loads instead of re-executing. Clone programs are
+// regenerated from the (possibly cached) profile: synthesis is cheap and
+// deterministic, so the clone's program hash keys its trace stably.
+func PrepareContext(ctx context.Context, opts Options) ([]*Pair, error) {
 	opts = opts.withDefaults()
+	sr, err := newStage(opts, "prepare", len(opts.Workloads))
+	if err != nil {
+		return nil, err
+	}
+	defer sr.close()
 	pairs := make([]*Pair, len(opts.Workloads))
-	err := forEach(opts, len(opts.Workloads), func(i int) error {
+	err = forEach(ctx, opts, len(opts.Workloads), func(i int) error {
+		start := time.Now()
 		name := opts.Workloads[i]
 		w, err := workloads.ByName(name)
 		if err != nil {
 			return err
 		}
 		p := w.Build()
-		prof, err := profile.Collect(p, profile.Options{MaxInsts: opts.ProfileInsts})
-		if err != nil {
-			return fmt.Errorf("profile %s: %w", name, err)
+		allCached := true
+
+		var prof *profile.Profile
+		var hash string
+		if opts.Store != nil {
+			hash = store.ProgramHash(p)
+			prof, _, err = opts.Store.LoadProfile(name, hash, opts.ProfileInsts)
+			if err != nil {
+				return err
+			}
+		}
+		if prof == nil {
+			allCached = false
+			prof, err = profile.Collect(p, profile.Options{MaxInsts: opts.ProfileInsts})
+			if err != nil {
+				return fmt.Errorf("profile %s: %w", name, err)
+			}
+			if opts.Store != nil {
+				if err := opts.Store.SaveProfile(name, hash, opts.ProfileInsts, prof); err != nil {
+					return err
+				}
+			}
 		}
 		clone, err := synth.Generate(prof, synth.Config{})
 		if err != nil {
 			return fmt.Errorf("clone %s: %w", name, err)
 		}
-		rt, err := dyntrace.Capture(p, traceBudget(opts))
-		if err != nil {
-			return fmt.Errorf("trace %s: %w", name, err)
+
+		budget := traceBudget(opts)
+		capture := func(label string, tp *prog.Program) (*dyntrace.Trace, error) {
+			if opts.Store != nil {
+				t, ok, err := opts.Store.LoadTrace(label, tp, budget)
+				if err != nil || ok {
+					return t, err
+				}
+			}
+			allCached = false
+			t, err := dyntrace.Capture(tp, budget)
+			if err != nil {
+				return nil, fmt.Errorf("trace %s: %w", label, err)
+			}
+			if opts.Store != nil {
+				if err := opts.Store.SaveTrace(label, t, budget); err != nil {
+					return nil, err
+				}
+			}
+			return t, nil
 		}
-		ct, err := dyntrace.Capture(clone.Program, traceBudget(opts))
+		rt, err := capture(name, p)
 		if err != nil {
-			return fmt.Errorf("trace %s clone: %w", name, err)
+			return err
+		}
+		ct, err := capture(name+"-clone", clone.Program)
+		if err != nil {
+			return err
 		}
 		pairs[i] = &Pair{
 			Name: name, Real: p, Profile: prof, Clone: clone,
 			RealTrace: rt, CloneTrace: ct,
 		}
+		sr.emit(name, allCached && opts.Store != nil, time.Since(start))
 		return nil
 	})
 	return pairs, err
@@ -141,7 +241,12 @@ func Prepare(opts Options) ([]*Pair, error) {
 // an atomic counter, so a grid whose cells have very different costs —
 // e.g. (workload × design change) — stays load-balanced. The first error
 // by index wins, matching serial semantics.
-func forEach(opts Options, n int, fn func(i int) error) error {
+//
+// Cancelling ctx stops workers from claiming new cells; cells already
+// running finish (or abort at their own ctx poll) before forEach returns,
+// so a SIGINT drains cleanly and every completed cell has been
+// checkpointed. A cancelled run never returns nil.
+func forEach(ctx context.Context, opts Options, n int, fn func(i int) error) error {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -151,6 +256,9 @@ func forEach(opts Options, n int, fn func(i int) error) error {
 	}
 	if !opts.Parallel || workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -165,6 +273,9 @@ func forEach(opts Options, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -179,6 +290,91 @@ func forEach(opts Options, n int, fn func(i int) error) error {
 			return e
 		}
 	}
+	return ctx.Err()
+}
+
+// stageRun tracks one experiment stage: its checkpoint log (when a store
+// is configured), completed-cell count, and wall time.
+type stageRun struct {
+	opts  Options
+	name  string
+	total int
+	cp    *store.Checkpoint
+	start time.Time
+
+	mu   sync.Mutex
+	done int
+}
+
+// newStage opens the stage's checkpoint (honoring Options.Resume) and
+// starts its wall clock.
+func newStage(opts Options, name string, total int) (*stageRun, error) {
+	sr := &stageRun{opts: opts, name: name, total: total, start: time.Now()}
+	if opts.Store != nil {
+		cp, err := opts.Store.OpenCheckpoint(name, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		sr.cp = cp
+	}
+	return sr, nil
+}
+
+// emit records one finished cell and forwards it to Options.Progress.
+// The lock also serializes the callback, as Options.Progress promises.
+func (sr *stageRun) emit(cell string, cached bool, d time.Duration) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.done++
+	if sr.opts.Progress != nil {
+		sr.opts.Progress(Event{
+			Stage: sr.name, Cell: cell,
+			Done: sr.done, Total: sr.total,
+			Cached: cached, Elapsed: d,
+		})
+	}
+}
+
+// close flushes the checkpoint and emits the stage-summary event.
+func (sr *stageRun) close() {
+	if sr.cp != nil {
+		sr.cp.Close()
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.opts.Progress != nil {
+		sr.opts.Progress(Event{
+			Stage: sr.name,
+			Done:  sr.done, Total: sr.total,
+			Elapsed: time.Since(sr.start),
+		})
+	}
+}
+
+// stageCell runs one grid cell with checkpoint reuse: a cell recorded by
+// a previous run is unmarshalled into out (byte-identical rows — JSON
+// round-trips float64 exactly); otherwise compute fills out and the
+// result is marked durable before the cell counts as done.
+func stageCell[T any](sr *stageRun, key string, out *T, compute func() error) error {
+	start := time.Now()
+	if sr.cp != nil {
+		if raw, ok := sr.cp.Done(key); ok {
+			if err := json.Unmarshal(raw, out); err != nil {
+				return fmt.Errorf("experiments: checkpoint %s cell %s: %w", sr.name, key, err)
+			}
+			sr.emit(key, true, time.Since(start))
+			return nil
+		}
+	}
+	if err := compute(); err != nil {
+		return err
+	}
+	if sr.cp != nil {
+		if err := sr.cp.Mark(key, *out); err != nil {
+			return err
+		}
+	}
+	sr.emit(key, false, time.Since(start))
 	return nil
 }
 
@@ -228,6 +424,12 @@ type Fig4Row struct {
 // all caches at once. Prefer CacheMPIFromTrace when a captured trace is
 // available — it produces identical numbers without the interpreter.
 func CacheMPI(p *prog.Program, cfgs []cache.Config, maxInsts uint64) ([]float64, error) {
+	return CacheMPIContext(context.Background(), p, cfgs, maxInsts)
+}
+
+// CacheMPIContext is CacheMPI with cooperative cancellation, polled every
+// 64 Ki retired instructions.
+func CacheMPIContext(ctx context.Context, p *prog.Program, cfgs []cache.Config, maxInsts uint64) ([]float64, error) {
 	rs, err := cache.NewReplaySet(cfgs)
 	if err != nil {
 		return nil, err
@@ -235,6 +437,11 @@ func CacheMPI(p *prog.Program, cfgs []cache.Config, maxInsts uint64) ([]float64,
 	var insts uint64
 	obs := func(ev *funcsim.Event) error {
 		insts++
+		if insts&(1<<16-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if ev.Inst.Op.IsMem() {
 			rs.Access(ev.Addr, ev.Inst.Op.IsStore())
 		}
@@ -258,6 +465,12 @@ func CacheMPI(p *prog.Program, cfgs []cache.Config, maxInsts uint64) ([]float64,
 // (0 = whole trace) through every configuration, cache-major, with no
 // functional execution.
 func CacheMPIFromTrace(t *dyntrace.Trace, cfgs []cache.Config, maxInsts uint64) ([]float64, error) {
+	return CacheMPIFromTraceContext(context.Background(), t, cfgs, maxInsts)
+}
+
+// CacheMPIFromTraceContext is CacheMPIFromTrace with cooperative
+// cancellation inside the cache-major replay loop.
+func CacheMPIFromTraceContext(ctx context.Context, t *dyntrace.Trace, cfgs []cache.Config, maxInsts uint64) ([]float64, error) {
 	rs, err := cache.NewReplaySet(cfgs)
 	if err != nil {
 		return nil, err
@@ -270,7 +483,9 @@ func CacheMPIFromTrace(t *dyntrace.Trace, cfgs []cache.Config, maxInsts uint64) 
 		return nil, fmt.Errorf("experiments: %s trace has no instructions; misses-per-instruction is undefined", t.Program().Name)
 	}
 	addrs, storeBits := t.Mem(insts)
-	rs.AccessStream(addrs, storeBits)
+	if err := rs.AccessStreamContext(ctx, addrs, storeBits); err != nil {
+		return nil, err
+	}
 	mpi := make([]float64, len(cfgs))
 	for i, st := range rs.Stats() {
 		mpi[i] = float64(st.Misses) / float64(insts)
@@ -279,42 +494,55 @@ func CacheMPIFromTrace(t *dyntrace.Trace, cfgs []cache.Config, maxInsts uint64) 
 }
 
 // cacheMPIFor dispatches to trace replay when t covers the budget.
-func cacheMPIFor(p *prog.Program, t *dyntrace.Trace, cfgs []cache.Config, maxInsts uint64) ([]float64, error) {
+func cacheMPIFor(ctx context.Context, p *prog.Program, t *dyntrace.Trace, cfgs []cache.Config, maxInsts uint64) ([]float64, error) {
 	if traceCovers(t, maxInsts) {
-		return CacheMPIFromTrace(t, cfgs, maxInsts)
+		return CacheMPIFromTraceContext(ctx, t, cfgs, maxInsts)
 	}
-	return CacheMPI(p, cfgs, maxInsts)
+	return CacheMPIContext(ctx, p, cfgs, maxInsts)
 }
 
 // Fig4 reproduces Figure 4: per-workload Pearson correlation of real vs
 // clone misses-per-instruction deltas across the 28 cache configurations.
 func Fig4(pairs []*Pair, opts Options) ([]Fig4Row, error) {
+	return Fig4Context(context.Background(), pairs, opts)
+}
+
+// Fig4Context is Fig4 with cancellation and per-workload checkpointing
+// (stage "fig4", one cell per workload).
+func Fig4Context(ctx context.Context, pairs []*Pair, opts Options) ([]Fig4Row, error) {
 	opts = opts.withDefaults()
 	cfgs := cache.Sweep28()
+	sr, err := newStage(opts, "fig4", len(pairs))
+	if err != nil {
+		return nil, err
+	}
+	defer sr.close()
 	rows := make([]Fig4Row, len(pairs))
-	err := forEach(opts, len(pairs), func(i int) error {
+	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		real, err := cacheMPIFor(pr.Real, pr.RealTrace, cfgs, opts.TimingInsts*2)
-		if err != nil {
-			return err
-		}
-		clone, err := cacheMPIFor(pr.Clone.Program, pr.CloneTrace, cfgs, opts.TimingInsts*2)
-		if err != nil {
-			return err
-		}
-		// Relative to the 256 B direct-mapped reference config (index 0).
-		relR := make([]float64, 0, len(cfgs)-1)
-		relC := make([]float64, 0, len(cfgs)-1)
-		for k := 1; k < len(cfgs); k++ {
-			relR = append(relR, real[k]-real[0])
-			relC = append(relC, clone[k]-clone[0])
-		}
-		r, err := stats.Pearson(relC, relR)
-		if err != nil {
-			return fmt.Errorf("%s: %w", pr.Name, err)
-		}
-		rows[i] = Fig4Row{Workload: pr.Name, R: r, RealMPI: real, CloneMPI: clone}
-		return nil
+		return stageCell(sr, pr.Name, &rows[i], func() error {
+			real, err := cacheMPIFor(ctx, pr.Real, pr.RealTrace, cfgs, opts.TimingInsts*2)
+			if err != nil {
+				return err
+			}
+			clone, err := cacheMPIFor(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, opts.TimingInsts*2)
+			if err != nil {
+				return err
+			}
+			// Relative to the 256 B direct-mapped reference config (index 0).
+			relR := make([]float64, 0, len(cfgs)-1)
+			relC := make([]float64, 0, len(cfgs)-1)
+			for k := 1; k < len(cfgs); k++ {
+				relR = append(relR, real[k]-real[0])
+				relC = append(relC, clone[k]-clone[0])
+			}
+			r, err := stats.Pearson(relC, relR)
+			if err != nil {
+				return fmt.Errorf("%s: %w", pr.Name, err)
+			}
+			rows[i] = Fig4Row{Workload: pr.Name, R: r, RealMPI: real, CloneMPI: clone}
+			return nil
+		})
 	})
 	return rows, err
 }
@@ -327,8 +555,13 @@ type Fig5Point struct {
 }
 
 // Fig5 reproduces Figure 5 from Fig4's per-workload MPI matrices: each
-// configuration's rank (1 = fewest misses), averaged over workloads.
-func Fig5(rows []Fig4Row) []Fig5Point {
+// configuration's rank (1 = fewest misses), averaged over workloads. Like
+// the stats package it errors (rather than dividing by zero into NaN)
+// when rows is empty.
+func Fig5(rows []Fig4Row) ([]Fig5Point, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("experiments: Fig5 needs at least one Fig4 row; average rank over zero workloads is undefined")
+	}
 	cfgs := cache.Sweep28()
 	n := len(cfgs)
 	sumR := make([]float64, n)
@@ -349,7 +582,7 @@ func Fig5(rows []Fig4Row) []Fig5Point {
 			CloneRank: sumC[k] / float64(len(rows)),
 		}
 	}
-	return out
+	return out, nil
 }
 
 // --- Figures 6 and 7 ---
@@ -368,38 +601,51 @@ type BaseRow struct {
 // Fig6and7 reproduces Figures 6 and 7: absolute IPC and power of real
 // benchmark vs clone on the Table 2 base configuration.
 func Fig6and7(pairs []*Pair, opts Options) ([]BaseRow, error) {
+	return Fig6and7Context(context.Background(), pairs, opts)
+}
+
+// Fig6and7Context is Fig6and7 with cancellation and per-workload
+// checkpointing (stage "fig6and7").
+func Fig6and7Context(ctx context.Context, pairs []*Pair, opts Options) ([]BaseRow, error) {
 	opts = opts.withDefaults()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
+	sr, err := newStage(opts, "fig6and7", len(pairs))
+	if err != nil {
+		return nil, err
+	}
+	defer sr.close()
 	rows := make([]BaseRow, len(pairs))
-	err := forEach(opts, len(pairs), func(i int) error {
+	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		str, err := runTimed(pr.Real, pr.RealTrace, base, lim)
-		if err != nil {
-			return err
-		}
-		sts, err := runTimed(pr.Clone.Program, pr.CloneTrace, base, lim)
-		if err != nil {
-			return err
-		}
-		realPow := power.Estimate(str).AvgPower
-		clonePow := power.Estimate(sts).AvgPower
-		ipcErr, err := stats.AbsRelError(sts.IPC(), str.IPC())
-		if err != nil {
-			return err
-		}
-		powErr, err := stats.AbsRelError(clonePow, realPow)
-		if err != nil {
-			return err
-		}
-		rows[i] = BaseRow{
-			Workload:  pr.Name,
-			RealIPC:   str.IPC(),
-			CloneIPC:  sts.IPC(),
-			IPCErr:    ipcErr,
-			RealPower: realPow, ClonePower: clonePow, PowerErr: powErr,
-		}
-		return nil
+		return stageCell(sr, pr.Name, &rows[i], func() error {
+			str, err := runTimed(ctx, pr.Real, pr.RealTrace, base, lim)
+			if err != nil {
+				return err
+			}
+			sts, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, base, lim)
+			if err != nil {
+				return err
+			}
+			realPow := power.Estimate(str).AvgPower
+			clonePow := power.Estimate(sts).AvgPower
+			ipcErr, err := stats.AbsRelError(sts.IPC(), str.IPC())
+			if err != nil {
+				return err
+			}
+			powErr, err := stats.AbsRelError(clonePow, realPow)
+			if err != nil {
+				return err
+			}
+			rows[i] = BaseRow{
+				Workload:  pr.Name,
+				RealIPC:   str.IPC(),
+				CloneIPC:  sts.IPC(),
+				IPCErr:    ipcErr,
+				RealPower: realPow, ClonePower: clonePow, PowerErr: powErr,
+			}
+			return nil
+		})
 	})
 	return rows, err
 }
@@ -433,35 +679,54 @@ type Table3Summary struct {
 	ClonePowRatio float64
 }
 
+// table3Base is the checkpointed baseline payload for one workload; its
+// fields are exported so the row survives the JSON round trip.
+type table3Base struct {
+	RealIPC, CloneIPC float64
+	RealPow, ClonePow float64
+}
+
 // Table3 reproduces Table 3 (and provides the Figures 8/9 series via the
 // returned per-workload rows for the "double width" change).
 func Table3(pairs []*Pair, opts Options) ([]DesignRow, []Table3Summary, error) {
+	return Table3Context(context.Background(), pairs, opts)
+}
+
+// Table3Context is Table3 with cancellation and checkpointing: the
+// per-workload baselines land in stage "table3-base" and the flat
+// (design change × workload) grid in stage "table3", keyed
+// "change|workload".
+func Table3Context(ctx context.Context, pairs []*Pair, opts Options) ([]DesignRow, []Table3Summary, error) {
 	opts = opts.withDefaults()
 	base := uarch.BaseConfig()
 	changes := uarch.DesignChanges()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
 
-	type baseline struct {
-		realIPC, cloneIPC float64
-		realPow, clonePow float64
+	srBase, err := newStage(opts, "table3-base", len(pairs))
+	if err != nil {
+		return nil, nil, err
 	}
-	bases := make([]baseline, len(pairs))
-	if err := forEach(opts, len(pairs), func(i int) error {
+	bases := make([]table3Base, len(pairs))
+	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		str, err := runTimed(pr.Real, pr.RealTrace, base, lim)
-		if err != nil {
-			return err
-		}
-		sts, err := runTimed(pr.Clone.Program, pr.CloneTrace, base, lim)
-		if err != nil {
-			return err
-		}
-		bases[i] = baseline{
-			realIPC: str.IPC(), cloneIPC: sts.IPC(),
-			realPow: power.Estimate(str).AvgPower, clonePow: power.Estimate(sts).AvgPower,
-		}
-		return nil
-	}); err != nil {
+		return stageCell(srBase, pr.Name, &bases[i], func() error {
+			str, err := runTimed(ctx, pr.Real, pr.RealTrace, base, lim)
+			if err != nil {
+				return err
+			}
+			sts, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, base, lim)
+			if err != nil {
+				return err
+			}
+			bases[i] = table3Base{
+				RealIPC: str.IPC(), CloneIPC: sts.IPC(),
+				RealPow: power.Estimate(str).AvgPower, ClonePow: power.Estimate(sts).AvgPower,
+			}
+			return nil
+		})
+	})
+	srBase.close()
+	if err != nil {
 		return nil, nil, err
 	}
 
@@ -475,44 +740,51 @@ func Table3(pairs []*Pair, opts Options) ([]DesignRow, []Table3Summary, error) {
 	for ci := range work {
 		work[ci] = make([]DesignRow, len(pairs))
 	}
+	sr, err := newStage(opts, "table3", len(changes)*len(pairs))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sr.close()
 	var rows []DesignRow
-	if err := forEach(opts, len(changes)*len(pairs), func(j int) error {
+	if err := forEach(ctx, opts, len(changes)*len(pairs), func(j int) error {
 		ci, i := j/len(pairs), j%len(pairs)
 		ch, pr := changes[ci], pairs[i]
-		str, err := runTimed(pr.Real, pr.RealTrace, cfgs[ci], lim)
-		if err != nil {
-			return err
-		}
-		sts, err := runTimed(pr.Clone.Program, pr.CloneTrace, cfgs[ci], lim)
-		if err != nil {
-			return err
-		}
-		realPow := power.Estimate(str).AvgPower
-		clonePow := power.Estimate(sts).AvgPower
-		b := bases[i]
-		reIPC, err := stats.RelativeError(b.realIPC, str.IPC(), b.cloneIPC, sts.IPC())
-		if err != nil {
-			return err
-		}
-		rePow, err := stats.RelativeError(b.realPow, realPow, b.clonePow, clonePow)
-		if err != nil {
-			return err
-		}
-		work[ci][i] = DesignRow{
-			Workload:     pr.Name,
-			Change:       ch.Name,
-			RealBaseIPC:  b.realIPC,
-			RealIPC:      str.IPC(),
-			CloneBaseIPC: b.cloneIPC,
-			CloneIPC:     sts.IPC(),
-			RealBasePow:  b.realPow,
-			RealPow:      realPow,
-			CloneBasePow: b.clonePow,
-			ClonePow:     clonePow,
-			RelErrIPC:    reIPC,
-			RelErrPow:    rePow,
-		}
-		return nil
+		return stageCell(sr, ch.Name+"|"+pr.Name, &work[ci][i], func() error {
+			str, err := runTimed(ctx, pr.Real, pr.RealTrace, cfgs[ci], lim)
+			if err != nil {
+				return err
+			}
+			sts, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, cfgs[ci], lim)
+			if err != nil {
+				return err
+			}
+			realPow := power.Estimate(str).AvgPower
+			clonePow := power.Estimate(sts).AvgPower
+			b := bases[i]
+			reIPC, err := stats.RelativeError(b.RealIPC, str.IPC(), b.CloneIPC, sts.IPC())
+			if err != nil {
+				return err
+			}
+			rePow, err := stats.RelativeError(b.RealPow, realPow, b.ClonePow, clonePow)
+			if err != nil {
+				return err
+			}
+			work[ci][i] = DesignRow{
+				Workload:     pr.Name,
+				Change:       ch.Name,
+				RealBaseIPC:  b.RealIPC,
+				RealIPC:      str.IPC(),
+				CloneBaseIPC: b.CloneIPC,
+				CloneIPC:     sts.IPC(),
+				RealBasePow:  b.RealPow,
+				RealPow:      realPow,
+				CloneBasePow: b.ClonePow,
+				ClonePow:     clonePow,
+				RelErrIPC:    reIPC,
+				RelErrPow:    rePow,
+			}
+			return nil
+		})
 	}); err != nil {
 		return nil, nil, err
 	}

@@ -75,9 +75,15 @@ func TestFig4And5(t *testing.T) {
 			t.Errorf("%s: cache-tracking correlation %f suspiciously low", r.Workload, r.R)
 		}
 	}
-	pts := Fig5(rows)
+	pts, err := Fig5(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 28 {
 		t.Fatalf("Fig5 points: %d", len(pts))
+	}
+	if _, err := Fig5(nil); err == nil {
+		t.Fatal("Fig5 over zero workloads must error, not divide by zero")
 	}
 	for _, p := range pts {
 		if p.RealRank < 1 || p.RealRank > 28 || p.CloneRank < 1 || p.CloneRank > 28 {
@@ -162,7 +168,11 @@ func TestReportPrinters(t *testing.T) {
 		t.Fatal(err)
 	}
 	PrintFig4(&sb, rows)
-	PrintFig5(&sb, Fig5(rows))
+	pts, err := Fig5(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig5(&sb, pts)
 	base, err := Fig6and7(pairs, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -207,5 +217,17 @@ func TestAblationSmoke(t *testing.T) {
 	PrintAblation(&sb, rows)
 	if !strings.Contains(sb.String(), "Ablation") {
 		t.Error("ablation report empty")
+	}
+}
+
+func TestDefaultWarmupNeverConsumesBudget(t *testing.T) {
+	o := Options{TimingInsts: 150_000}.withDefaults()
+	if o.TimingWarmup >= o.TimingInsts {
+		t.Fatalf("defaulted warmup %d consumes the whole %d budget", o.TimingWarmup, o.TimingInsts)
+	}
+	// An explicit warmup is never second-guessed.
+	o = Options{TimingInsts: 100_000, TimingWarmup: 100_000}.withDefaults()
+	if o.TimingWarmup != 100_000 {
+		t.Fatalf("explicit warmup changed to %d", o.TimingWarmup)
 	}
 }

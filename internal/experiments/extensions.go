@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -32,6 +33,12 @@ var extensionPredictors = []string{"gap", "gshare", "bimodal", "taken", "not-tak
 // (predictor × workload) grid runs as one flat work list, each cell
 // replaying the pair's captured traces.
 func PredictorSweep(pairs []*Pair, opts Options) ([]PredictorRow, error) {
+	return PredictorSweepContext(context.Background(), pairs, opts)
+}
+
+// PredictorSweepContext is PredictorSweep with cancellation and
+// checkpointing (stage "predictor-sweep", keyed "predictor|workload").
+func PredictorSweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]PredictorRow, error) {
 	opts = opts.withDefaults()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
@@ -42,26 +49,33 @@ func PredictorSweep(pairs []*Pair, opts Options) ([]PredictorRow, error) {
 		cfgs[pi].Name = "pred-" + pn
 	}
 	rows := make([]PredictorRow, len(extensionPredictors)*len(pairs))
-	err := forEach(opts, len(rows), func(j int) error {
+	sr, err := newStage(opts, "predictor-sweep", len(rows))
+	if err != nil {
+		return nil, err
+	}
+	defer sr.close()
+	err = forEach(ctx, opts, len(rows), func(j int) error {
 		pi, i := j/len(pairs), j%len(pairs)
 		pr := pairs[i]
-		str, err := runTimed(pr.Real, pr.RealTrace, cfgs[pi], lim)
-		if err != nil {
-			return err
-		}
-		sts, err := runTimed(pr.Clone.Program, pr.CloneTrace, cfgs[pi], lim)
-		if err != nil {
-			return err
-		}
-		rows[j] = PredictorRow{
-			Workload:  pr.Name,
-			Predictor: extensionPredictors[pi],
-			RealIPC:   str.IPC(),
-			CloneIPC:  sts.IPC(),
-			RealMiss:  str.MispredRate(),
-			CloneMiss: sts.MispredRate(),
-		}
-		return nil
+		return stageCell(sr, extensionPredictors[pi]+"|"+pr.Name, &rows[j], func() error {
+			str, err := runTimed(ctx, pr.Real, pr.RealTrace, cfgs[pi], lim)
+			if err != nil {
+				return err
+			}
+			sts, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, cfgs[pi], lim)
+			if err != nil {
+				return err
+			}
+			rows[j] = PredictorRow{
+				Workload:  pr.Name,
+				Predictor: extensionPredictors[pi],
+				RealIPC:   str.IPC(),
+				CloneIPC:  sts.IPC(),
+				RealMiss:  str.MispredRate(),
+				CloneMiss: sts.MispredRate(),
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -108,37 +122,50 @@ type PrefetchRow struct {
 // PrefetchStudy measures the prefetch response of real programs and their
 // clones.
 func PrefetchStudy(pairs []*Pair, opts Options) ([]PrefetchRow, error) {
+	return PrefetchStudyContext(context.Background(), pairs, opts)
+}
+
+// PrefetchStudyContext is PrefetchStudy with cancellation and
+// per-workload checkpointing (stage "prefetch").
+func PrefetchStudyContext(ctx context.Context, pairs []*Pair, opts Options) ([]PrefetchRow, error) {
 	opts = opts.withDefaults()
 	off := uarch.BaseConfig()
 	on := off
 	on.NextLinePrefetch = true
 	on.Name = "prefetch"
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
+	sr, err := newStage(opts, "prefetch", len(pairs))
+	if err != nil {
+		return nil, err
+	}
+	defer sr.close()
 	rows := make([]PrefetchRow, len(pairs))
-	err := forEach(opts, len(pairs), func(i int) error {
+	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		rOff, err := runTimed(pr.Real, pr.RealTrace, off, lim)
-		if err != nil {
-			return err
-		}
-		rOn, err := runTimed(pr.Real, pr.RealTrace, on, lim)
-		if err != nil {
-			return err
-		}
-		cOff, err := runTimed(pr.Clone.Program, pr.CloneTrace, off, lim)
-		if err != nil {
-			return err
-		}
-		cOn, err := runTimed(pr.Clone.Program, pr.CloneTrace, on, lim)
-		if err != nil {
-			return err
-		}
-		rows[i] = PrefetchRow{
-			Workload:     pr.Name,
-			RealSpeedup:  rOn.IPC() / rOff.IPC(),
-			CloneSpeedup: cOn.IPC() / cOff.IPC(),
-		}
-		return nil
+		return stageCell(sr, pr.Name, &rows[i], func() error {
+			rOff, err := runTimed(ctx, pr.Real, pr.RealTrace, off, lim)
+			if err != nil {
+				return err
+			}
+			rOn, err := runTimed(ctx, pr.Real, pr.RealTrace, on, lim)
+			if err != nil {
+				return err
+			}
+			cOff, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, off, lim)
+			if err != nil {
+				return err
+			}
+			cOn, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, on, lim)
+			if err != nil {
+				return err
+			}
+			rows[i] = PrefetchRow{
+				Workload:     pr.Name,
+				RealSpeedup:  rOn.IPC() / rOff.IPC(),
+				CloneSpeedup: cOn.IPC() / cOff.IPC(),
+			}
+			return nil
+		})
 	})
 	return rows, err
 }
@@ -175,6 +202,12 @@ var l2Sizes = []int{16, 32, 64, 128, 256}
 // L2Sweep measures real and clone IPC across L2 sizes, as one flat
 // (size × workload) replay grid.
 func L2Sweep(pairs []*Pair, opts Options) ([]L2Row, error) {
+	return L2SweepContext(context.Background(), pairs, opts)
+}
+
+// L2SweepContext is L2Sweep with cancellation and checkpointing
+// (stage "l2-sweep", keyed "<size>kb|workload").
+func L2SweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]L2Row, error) {
 	opts = opts.withDefaults()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
@@ -185,23 +218,30 @@ func L2Sweep(pairs []*Pair, opts Options) ([]L2Row, error) {
 		cfgs[si].Name = fmt.Sprintf("l2-%dkb", kb)
 	}
 	rows := make([]L2Row, len(l2Sizes)*len(pairs))
-	err := forEach(opts, len(rows), func(j int) error {
+	sr, err := newStage(opts, "l2-sweep", len(rows))
+	if err != nil {
+		return nil, err
+	}
+	defer sr.close()
+	err = forEach(ctx, opts, len(rows), func(j int) error {
 		si, i := j/len(pairs), j%len(pairs)
 		pr := pairs[i]
-		str, err := runTimed(pr.Real, pr.RealTrace, cfgs[si], lim)
-		if err != nil {
-			return err
-		}
-		sts, err := runTimed(pr.Clone.Program, pr.CloneTrace, cfgs[si], lim)
-		if err != nil {
-			return err
-		}
-		rows[j] = L2Row{
-			Workload: pr.Name, L2KB: l2Sizes[si],
-			RealIPC: str.IPC(), CloneIPC: sts.IPC(),
-			RealMiss: str.L2.MissRate(), CloneMiss: sts.L2.MissRate(),
-		}
-		return nil
+		return stageCell(sr, fmt.Sprintf("%dkb|%s", l2Sizes[si], pr.Name), &rows[j], func() error {
+			str, err := runTimed(ctx, pr.Real, pr.RealTrace, cfgs[si], lim)
+			if err != nil {
+				return err
+			}
+			sts, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, cfgs[si], lim)
+			if err != nil {
+				return err
+			}
+			rows[j] = L2Row{
+				Workload: pr.Name, L2KB: l2Sizes[si],
+				RealIPC: str.IPC(), CloneIPC: sts.IPC(),
+				RealMiss: str.L2.MissRate(), CloneMiss: sts.L2.MissRate(),
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err

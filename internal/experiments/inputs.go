@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -38,78 +39,91 @@ type InputRow struct {
 // InputSensitivity runs the assimilation study over every kernel that has
 // a large-input variant.
 func InputSensitivity(opts Options) ([]InputRow, error) {
+	return InputSensitivityContext(context.Background(), opts)
+}
+
+// InputSensitivityContext is InputSensitivity with cancellation and
+// per-kernel checkpointing (stage "inputs").
+func InputSensitivityContext(ctx context.Context, opts Options) ([]InputRow, error) {
 	opts = opts.withDefaults()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
 	variants := workloads.Large()
+	sr, err := newStage(opts, "inputs", len(variants))
+	if err != nil {
+		return nil, err
+	}
+	defer sr.close()
 	rows := make([]InputRow, len(variants))
-	err := forEach(opts, len(variants), func(i int) error {
+	err = forEach(ctx, opts, len(variants), func(i int) error {
 		large := variants[i]
 		smallName := strings.TrimSuffix(large.Name, "-large")
-		small, err := workloads.ByName(smallName)
-		if err != nil {
-			return err
-		}
-		smallProg := small.Build()
-		largeProg := large.Build()
+		return stageCell(sr, smallName, &rows[i], func() error {
+			small, err := workloads.ByName(smallName)
+			if err != nil {
+				return err
+			}
+			smallProg := small.Build()
+			largeProg := large.Build()
 
-		smallProf, err := profile.Collect(smallProg, profile.Options{MaxInsts: opts.ProfileInsts})
-		if err != nil {
-			return err
-		}
-		largeProf, err := profile.Collect(largeProg, profile.Options{MaxInsts: opts.ProfileInsts})
-		if err != nil {
-			return err
-		}
-		smallClone, err := synth.Generate(smallProf, synth.Config{})
-		if err != nil {
-			return err
-		}
-		largeClone, err := synth.Generate(largeProf, synth.Config{})
-		if err != nil {
-			return err
-		}
+			smallProf, err := profile.Collect(smallProg, profile.Options{MaxInsts: opts.ProfileInsts})
+			if err != nil {
+				return err
+			}
+			largeProf, err := profile.Collect(largeProg, profile.Options{MaxInsts: opts.ProfileInsts})
+			if err != nil {
+				return err
+			}
+			smallClone, err := synth.Generate(smallProf, synth.Config{})
+			if err != nil {
+				return err
+			}
+			largeClone, err := synth.Generate(largeProf, synth.Config{})
+			if err != nil {
+				return err
+			}
 
-		rs, err := uarch.RunLimits(smallProg, base, lim)
-		if err != nil {
-			return err
-		}
-		rl, err := uarch.RunLimits(largeProg, base, lim)
-		if err != nil {
-			return err
-		}
-		cs, err := uarch.RunLimits(smallClone.Program, base, lim)
-		if err != nil {
-			return err
-		}
-		cl, err := uarch.RunLimits(largeClone.Program, base, lim)
-		if err != nil {
-			return err
-		}
-		_ = power.Estimate(rs) // exercised for parity; IPC is the metric here
+			rs, err := uarch.RunLimitsContext(ctx, smallProg, base, lim)
+			if err != nil {
+				return err
+			}
+			rl, err := uarch.RunLimitsContext(ctx, largeProg, base, lim)
+			if err != nil {
+				return err
+			}
+			cs, err := uarch.RunLimitsContext(ctx, smallClone.Program, base, lim)
+			if err != nil {
+				return err
+			}
+			cl, err := uarch.RunLimitsContext(ctx, largeClone.Program, base, lim)
+			if err != nil {
+				return err
+			}
+			_ = power.Estimate(rs) // exercised for parity; IPC is the metric here
 
-		evs, err := stats.AbsRelError(cs.IPC(), rs.IPC())
-		if err != nil {
-			return err
-		}
-		evl, err := stats.AbsRelError(cs.IPC(), rl.IPC())
-		if err != nil {
-			return err
-		}
-		lce, err := stats.AbsRelError(cl.IPC(), rl.IPC())
-		if err != nil {
-			return err
-		}
-		rows[i] = InputRow{
-			Workload:      smallName,
-			RealSmallIPC:  rs.IPC(),
-			RealLargeIPC:  rl.IPC(),
-			CloneIPC:      cs.IPC(),
-			ErrVsSmall:    evs,
-			ErrVsLarge:    evl,
-			LargeCloneErr: lce,
-		}
-		return nil
+			evs, err := stats.AbsRelError(cs.IPC(), rs.IPC())
+			if err != nil {
+				return err
+			}
+			evl, err := stats.AbsRelError(cs.IPC(), rl.IPC())
+			if err != nil {
+				return err
+			}
+			lce, err := stats.AbsRelError(cl.IPC(), rl.IPC())
+			if err != nil {
+				return err
+			}
+			rows[i] = InputRow{
+				Workload:      smallName,
+				RealSmallIPC:  rs.IPC(),
+				RealLargeIPC:  rl.IPC(),
+				CloneIPC:      cs.IPC(),
+				ErrVsSmall:    evs,
+				ErrVsLarge:    evl,
+				LargeCloneErr: lce,
+			}
+			return nil
+		})
 	})
 	return rows, err
 }

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"perfclone/internal/store"
+)
+
+// resumeOpts keeps the interrupt/resume test fast: two workloads, short
+// runs. Parallel stays off so the cancellation point is deterministic.
+func resumeOpts(st *store.Store) Options {
+	return Options{
+		Workloads:    []string{"crc32", "qsort"},
+		ProfileInsts: 250_000,
+		TimingWarmup: 50_000,
+		TimingInsts:  150_000,
+		Store:        st,
+	}
+}
+
+// renderRun renders the Fig4/Fig5/Fig6and7 pipeline to text — the same
+// printers cmd/experiments uses — so two runs can be compared byte for
+// byte.
+func renderRun(ctx context.Context, opts Options) (string, error) {
+	pairs, err := PrepareContext(ctx, opts)
+	if err != nil {
+		return "", err
+	}
+	fig4, err := Fig4Context(ctx, pairs, opts)
+	if err != nil {
+		return "", err
+	}
+	pts, err := Fig5(fig4)
+	if err != nil {
+		return "", err
+	}
+	rows, err := Fig6and7Context(ctx, pairs, opts)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	PrintFig4(&buf, fig4)
+	PrintFig5(&buf, pts)
+	PrintFig6and7(&buf, rows)
+	return buf.String(), nil
+}
+
+// TestResumeByteIdentical pins the store's core guarantee: a run killed
+// mid-stage and resumed from its checkpoints renders byte-identical
+// output to an uninterrupted run, and the resumed run's Prepare loads
+// every trace from the store instead of re-executing.
+func TestResumeByteIdentical(t *testing.T) {
+	// Reference: one uninterrupted run against its own store.
+	stA, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := renderRun(context.Background(), resumeOpts(stA))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel after the first fig4 cell finishes.
+	stB, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	opts := resumeOpts(stB)
+	opts.Progress = func(ev Event) {
+		if ev.Stage == "fig4" && ev.Cell != "" {
+			once.Do(cancel)
+		}
+	}
+	if _, err := renderRun(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: want context.Canceled, got %v", err)
+	}
+	interrupted := stB.Counters()
+	if interrupted.TraceMisses == 0 {
+		t.Fatal("interrupted run should have captured (missed) traces")
+	}
+
+	// Resume against the same store: all artifacts load, checkpointed
+	// cells are reused, output matches the reference byte for byte.
+	opts = resumeOpts(stB)
+	opts.Resume = true
+	var cachedCells int
+	opts.Progress = func(ev Event) {
+		if ev.Cell != "" && ev.Cached {
+			cachedCells++
+		}
+	}
+	got, err := renderRun(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("resumed output differs from uninterrupted run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	if cachedCells == 0 {
+		t.Fatal("resumed run reused no checkpointed cells")
+	}
+
+	resumed := stB.Counters()
+	if resumed.TraceMisses != interrupted.TraceMisses {
+		t.Fatalf("resumed Prepare re-captured traces: %d misses before, %d after",
+			interrupted.TraceMisses, resumed.TraceMisses)
+	}
+	wantHits := interrupted.TraceHits + uint64(2*len(opts.Workloads))
+	if resumed.TraceHits != wantHits {
+		t.Fatalf("resumed Prepare trace hits = %d, want %d (real+clone per workload)",
+			resumed.TraceHits, wantHits)
+	}
+	if resumed.ProfileMisses != interrupted.ProfileMisses {
+		t.Fatal("resumed Prepare re-collected profiles")
+	}
+}
+
+// TestSecondRunAllCached re-runs the pipeline against a warm store
+// without Resume: traces and profiles still come from the store (the
+// artifact cache is independent of checkpoint reuse).
+func TestSecondRunAllCached(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := resumeOpts(st)
+	first, err := renderRun(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := st.Counters()
+	second, err := renderRun(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("second run against the warm store rendered different output")
+	}
+	c := st.Counters()
+	if c.TraceMisses != afterFirst.TraceMisses || c.ProfileMisses != afterFirst.ProfileMisses {
+		t.Fatalf("second run missed the store: %+v (after first run: %+v)", c, afterFirst)
+	}
+	if c.TraceHits <= afterFirst.TraceHits {
+		t.Fatal("second run loaded no traces from the store")
+	}
+}
+
+// TestCancelledContextErrors pins that an already-cancelled context makes
+// every driver return an error rather than silent partial results.
+func TestCancelledContextErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := resumeOpts(nil)
+	if _, err := PrepareContext(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PrepareContext: want context.Canceled, got %v", err)
+	}
+	pairs := preparePairs(t)
+	if _, err := Fig4Context(ctx, pairs, smallOpts()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig4Context: want context.Canceled, got %v", err)
+	}
+	if _, err := Fig6and7Context(ctx, pairs, smallOpts()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig6and7Context: want context.Canceled, got %v", err)
+	}
+	if _, _, err := Table3Context(ctx, pairs, smallOpts()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Table3Context: want context.Canceled, got %v", err)
+	}
+}
+
+// TestResumeRequiresStoreIsHarmless documents that Resume without a
+// Store simply recomputes (no checkpoints exist to reuse); the flag-level
+// guard lives in cmd/experiments.
+func TestResumeRequiresStoreIsHarmless(t *testing.T) {
+	opts := smallOpts()
+	opts.Workloads = []string{"crc32"}
+	opts.Resume = true
+	pairs, err := PrepareContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0] == nil {
+		t.Fatal("Resume without Store must still prepare pairs")
+	}
+	if !strings.Contains(pairs[0].Name, "crc32") {
+		t.Fatalf("unexpected pair %q", pairs[0].Name)
+	}
+}

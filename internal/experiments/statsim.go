@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,45 +25,58 @@ type StatsimRow struct {
 
 // StatsimComparison measures all three at the Table 2 base configuration.
 func StatsimComparison(pairs []*Pair, opts Options) ([]StatsimRow, error) {
+	return StatsimComparisonContext(context.Background(), pairs, opts)
+}
+
+// StatsimComparisonContext is StatsimComparison with cancellation and
+// per-workload checkpointing (stage "statsim").
+func StatsimComparisonContext(ctx context.Context, pairs []*Pair, opts Options) ([]StatsimRow, error) {
 	opts = opts.withDefaults()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
+	sr, err := newStage(opts, "statsim", len(pairs))
+	if err != nil {
+		return nil, err
+	}
+	defer sr.close()
 	rows := make([]StatsimRow, len(pairs))
-	err := forEach(opts, len(pairs), func(i int) error {
+	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		detailed, err := runTimed(pr.Real, pr.RealTrace, base, lim)
-		if err != nil {
-			return err
-		}
-		clone, err := runTimed(pr.Clone.Program, pr.CloneTrace, base, lim)
-		if err != nil {
-			return err
-		}
-		rates, err := statsim.MeasureRates(pr.Real, base, opts.TimingInsts)
-		if err != nil {
-			return err
-		}
-		est, err := statsim.Estimate(pr.Profile, rates, base, statsim.Options{TraceLen: opts.TimingInsts})
-		if err != nil {
-			return err
-		}
-		se, err := stats.AbsRelError(est.IPC(), detailed.IPC())
-		if err != nil {
-			return err
-		}
-		ce, err := stats.AbsRelError(clone.IPC(), detailed.IPC())
-		if err != nil {
-			return err
-		}
-		rows[i] = StatsimRow{
-			Workload:    pr.Name,
-			DetailedIPC: detailed.IPC(),
-			StatsimIPC:  est.IPC(),
-			CloneIPC:    clone.IPC(),
-			StatsimErr:  se,
-			CloneErr:    ce,
-		}
-		return nil
+		return stageCell(sr, pr.Name, &rows[i], func() error {
+			detailed, err := runTimed(ctx, pr.Real, pr.RealTrace, base, lim)
+			if err != nil {
+				return err
+			}
+			clone, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, base, lim)
+			if err != nil {
+				return err
+			}
+			rates, err := statsim.MeasureRates(pr.Real, base, opts.TimingInsts)
+			if err != nil {
+				return err
+			}
+			est, err := statsim.Estimate(pr.Profile, rates, base, statsim.Options{TraceLen: opts.TimingInsts})
+			if err != nil {
+				return err
+			}
+			se, err := stats.AbsRelError(est.IPC(), detailed.IPC())
+			if err != nil {
+				return err
+			}
+			ce, err := stats.AbsRelError(clone.IPC(), detailed.IPC())
+			if err != nil {
+				return err
+			}
+			rows[i] = StatsimRow{
+				Workload:    pr.Name,
+				DetailedIPC: detailed.IPC(),
+				StatsimIPC:  est.IPC(),
+				CloneIPC:    clone.IPC(),
+				StatsimErr:  se,
+				CloneErr:    ce,
+			}
+			return nil
+		})
 	})
 	return rows, err
 }

@@ -457,8 +457,13 @@ func (pr *Profile) finalize() {
 		}
 		ms.DominantStride = bestS
 		ms.DominantCount = bestC
-		// Close the trailing run.
+		// Close the trailing run, then clear the run-tracking state so a
+		// second finalize (e.g. after a deserialization round-trip or a
+		// defensive re-finalize) cannot fold the same trailing run into
+		// the statistics twice.
 		ms.closeRun()
+		ms.runValid = false
+		ms.runLen = 0
 		if ms.runs > 0 {
 			ms.MeanStreamLen = float64(ms.runTotal) / float64(ms.runs)
 		} else {

@@ -315,3 +315,64 @@ func TestMaxInstsBound(t *testing.T) {
 		t.Fatalf("profiled %d insts, want 100", prof.TotalInsts)
 	}
 }
+
+func TestTransitionRateDegenerateCounts(t *testing.T) {
+	// 0 executions: no transitions are defined; rate must be 0, not NaN
+	// (Count-1 underflows the naive formula).
+	var bs BranchStat
+	if tr := bs.TransitionRate(); tr != 0 {
+		t.Errorf("0 executions: transition rate %v, want 0", tr)
+	}
+	if tr := bs.TakenRate(); tr != 0 {
+		t.Errorf("0 executions: taken rate %v, want 0", tr)
+	}
+	// 1 execution: still no consecutive pair to transition between.
+	bs = BranchStat{Count: 1, Taken: 1}
+	if tr := bs.TransitionRate(); tr != 0 {
+		t.Errorf("1 execution: transition rate %v, want 0", tr)
+	}
+	if tr := bs.TakenRate(); tr != 1 {
+		t.Errorf("1 taken execution: taken rate %v, want 1", tr)
+	}
+	// Sanity at 2 executions with one direction change.
+	bs = BranchStat{Count: 2, Taken: 1, Transitions: 1}
+	if tr := bs.TransitionRate(); tr != 1 {
+		t.Errorf("2 executions, 1 transition: rate %v, want 1", tr)
+	}
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	// The trailing stream run must be folded into the statistics exactly
+	// once: a second finalize (e.g. a defensive re-finalize after a
+	// serialization round-trip) used to re-close the last run and skew
+	// MeanStreamLen upward.
+	p := stridedProgram(t, 100, 8)
+	prof, err := Collect(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type snap struct {
+		mean        float64
+		runs, total uint64
+		domS        int64
+		domC        uint64
+	}
+	take := func() []snap {
+		out := make([]snap, 0, len(prof.MemList))
+		for _, m := range prof.MemList {
+			out = append(out, snap{m.MeanStreamLen, m.runs, m.runTotal, m.DominantStride, m.DominantCount})
+		}
+		return out
+	}
+	before := take()
+	if before[0].runs == 0 {
+		t.Fatal("strided program should have at least one closed run")
+	}
+	prof.finalize()
+	after := take()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("mem op %d: finalize not idempotent: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+}

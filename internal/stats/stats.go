@@ -21,6 +21,9 @@ func Pearson(x, y []float64) (float64, error) {
 	n := float64(len(x))
 	var mx, my float64
 	for i := range x {
+		if !isFinite(x[i]) || !isFinite(y[i]) {
+			return 0, fmt.Errorf("stats: non-finite value at index %d (x=%v, y=%v)", i, x[i], y[i])
+		}
 		mx += x[i]
 		my += y[i]
 	}
@@ -33,10 +36,25 @@ func Pearson(x, y []float64) (float64, error) {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
-		return 0, fmt.Errorf("stats: zero variance")
+	if sxx == 0 {
+		return 0, fmt.Errorf("stats: zero variance in x (all %d values equal %v)", len(x), x[0])
 	}
-	return sxy / math.Sqrt(sxx*syy), nil
+	if syy == 0 {
+		return 0, fmt.Errorf("stats: zero variance in y (all %d values equal %v)", len(y), y[0])
+	}
+	// Sqrt each sum separately: sxx*syy can overflow to +Inf (giving a
+	// silent R=0) or underflow to 0 (giving NaN) even when both sums are
+	// positive and finite.
+	r := sxy / (math.Sqrt(sxx) * math.Sqrt(syy))
+	if math.IsNaN(r) {
+		return 0, fmt.Errorf("stats: correlation is NaN (sxy=%v sxx=%v syy=%v)", sxy, sxx, syy)
+	}
+	return r, nil
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // Rank returns the rank of each value in vals, where the smallest value
@@ -66,9 +84,15 @@ func Rank(vals []float64) []float64 {
 	return ranks
 }
 
-// Spearman is the rank correlation coefficient.
+// Spearman is the rank correlation coefficient. Like Pearson it errors
+// (rather than returning NaN) when either input's ranks have zero
+// variance, i.e. when all values in a vector are tied.
 func Spearman(x, y []float64) (float64, error) {
-	return Pearson(Rank(x), Rank(y))
+	r, err := Pearson(Rank(x), Rank(y))
+	if err != nil {
+		return 0, fmt.Errorf("stats: spearman over ranks: %w", err)
+	}
+	return r, nil
 }
 
 // RelativeError implements RE_X of Section 5.2: the error of the clone's
@@ -79,17 +103,29 @@ func Spearman(x, y []float64) (float64, error) {
 //
 // where S is the synthetic clone and R the real benchmark.
 func RelativeError(baseReal, xReal, baseSyn, xSyn float64) (float64, error) {
+	for _, v := range []float64{baseReal, xReal, baseSyn, xSyn} {
+		if !isFinite(v) {
+			return 0, fmt.Errorf("stats: non-finite metric %v in relative error", v)
+		}
+	}
 	if baseReal == 0 || baseSyn == 0 || xReal == 0 {
-		return 0, fmt.Errorf("stats: zero metric in relative error")
+		return 0, fmt.Errorf("stats: zero metric in relative error (baseReal=%v baseSyn=%v xReal=%v)", baseReal, baseSyn, xReal)
 	}
 	realRatio := xReal / baseReal
 	synRatio := xSyn / baseSyn
-	return math.Abs(synRatio-realRatio) / realRatio, nil
+	re := math.Abs(synRatio-realRatio) / realRatio
+	if !isFinite(re) {
+		return 0, fmt.Errorf("stats: relative error is %v (real ratio %v, synthetic ratio %v)", re, realRatio, synRatio)
+	}
+	return re, nil
 }
 
 // AbsRelError is |a-b|/|b| — the absolute error at one design point
 // (Figures 6 and 7).
 func AbsRelError(predicted, actual float64) (float64, error) {
+	if !isFinite(predicted) || !isFinite(actual) {
+		return 0, fmt.Errorf("stats: non-finite value in absolute relative error (predicted=%v actual=%v)", predicted, actual)
+	}
 	if actual == 0 {
 		return 0, fmt.Errorf("stats: zero actual value")
 	}

@@ -181,3 +181,84 @@ func TestRankIsPermutationInvariantSize(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPearsonZeroVarianceNeverNaN(t *testing.T) {
+	// Either vector being constant must produce a descriptive error, never
+	// a silent NaN (the Fig4/Fig5 drivers propagate these errors).
+	cases := [][2][]float64{
+		{{3, 3, 3}, {1, 2, 3}},
+		{{1, 2, 3}, {7, 7, 7}},
+		{{0, 0, 0}, {0, 0, 0}},
+	}
+	for _, c := range cases {
+		r, err := Pearson(c[0], c[1])
+		if err == nil {
+			t.Errorf("Pearson(%v, %v): no error, r=%v", c[0], c[1], r)
+		}
+		if math.IsNaN(r) {
+			t.Errorf("Pearson(%v, %v) leaked NaN", c[0], c[1])
+		}
+	}
+}
+
+func TestSpearmanAllTiedErrors(t *testing.T) {
+	// All-tied ranks have zero variance; Spearman must error, not NaN.
+	if s, err := Spearman([]float64{5, 5, 5}, []float64{1, 2, 3}); err == nil || math.IsNaN(s) {
+		t.Fatalf("all-tied spearman: s=%v err=%v", s, err)
+	}
+}
+
+func TestPearsonRejectsNonFinite(t *testing.T) {
+	bad := [][]float64{
+		{1, math.NaN(), 3},
+		{1, math.Inf(1), 3},
+		{1, math.Inf(-1), 3},
+	}
+	good := []float64{1, 2, 3}
+	for _, b := range bad {
+		if _, err := Pearson(b, good); err == nil {
+			t.Errorf("Pearson accepted non-finite x %v", b)
+		}
+		if _, err := Pearson(good, b); err == nil {
+			t.Errorf("Pearson accepted non-finite y %v", b)
+		}
+	}
+}
+
+func TestPearsonExtremeMagnitudesStayFinite(t *testing.T) {
+	// sxx and syy are finite (~1e300) but their product over/underflows
+	// float64; Sqrt-per-sum must still give ±1.
+	big := []float64{1e150, 2e150, 3e150}
+	r, err := Pearson(big, big)
+	if err != nil || !almost(r, 1) {
+		t.Fatalf("huge-magnitude r=%v err=%v", r, err)
+	}
+	tiny := []float64{1e-150, 2e-150, 3e-150}
+	r, err = Pearson(tiny, tiny)
+	if err != nil || !almost(r, 1) {
+		t.Fatalf("tiny-magnitude r=%v err=%v", r, err)
+	}
+}
+
+func TestRelativeErrorRejectsNonFinite(t *testing.T) {
+	if _, err := RelativeError(1, math.Inf(1), 1, 1); err == nil {
+		t.Error("Inf metric accepted")
+	}
+	if _, err := RelativeError(1, 1, math.NaN(), 1); err == nil {
+		t.Error("NaN metric accepted")
+	}
+	// xSyn = 0 is a legal (maximally wrong) clone prediction: RE = 1.
+	re, err := RelativeError(1, 2, 1, 0)
+	if err != nil || !almost(re, 1) {
+		t.Fatalf("zero synthetic point: re=%v err=%v", re, err)
+	}
+}
+
+func TestAbsRelErrorRejectsNonFinite(t *testing.T) {
+	if _, err := AbsRelError(math.Inf(1), 1); err == nil {
+		t.Error("Inf predicted accepted")
+	}
+	if _, err := AbsRelError(1, math.NaN()); err == nil {
+		t.Error("NaN actual accepted")
+	}
+}

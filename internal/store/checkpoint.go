@@ -1,0 +1,150 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// checkpointVersion guards the JSONL cell format; bump it when a driver's
+// row type changes shape incompatibly.
+const checkpointVersion = 1
+
+// cellRecord is one line of a checkpoint file: a finished grid cell and
+// its full result row, so a resumed run can reuse the row verbatim and
+// render byte-identical figures.
+type cellRecord struct {
+	V    int             `json:"v"`
+	Cell string          `json:"cell"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Checkpoint is an append-only JSONL log of completed grid cells for one
+// experiment stage. Mark is safe for concurrent use by the worker pool;
+// each line is written and flushed in one critical section, so a SIGINT
+// between cells never truncates a record mid-line.
+type Checkpoint struct {
+	stage string
+
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	done map[string]json.RawMessage
+}
+
+// OpenCheckpoint opens the per-stage cell log. With resume set, existing
+// records are loaded and served by Done; otherwise the log is truncated
+// and the stage starts from scratch. Trailing partial lines (a crash
+// mid-write on a filesystem without atomic appends) are dropped, not
+// fatal: the cell simply recomputes.
+func (s *Store) OpenCheckpoint(stage string, resume bool) (*Checkpoint, error) {
+	path := filepath.Join(s.dir, "checkpoints", sanitize(stage)+".jsonl")
+	cp := &Checkpoint{stage: stage, done: make(map[string]json.RawMessage)}
+	if resume {
+		if err := cp.load(path); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: checkpoint %s: %w", stage, err)
+	}
+	cp.f = f
+	cp.w = bufio.NewWriter(f)
+	return cp, nil
+}
+
+// load reads existing records into the done map.
+func (cp *Checkpoint) load(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: checkpoint %s: %w", cp.stage, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec cellRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn trailing line is expected after a hard kill; any
+			// line after it would be unreachable anyway, so stop here.
+			break
+		}
+		if rec.V != checkpointVersion {
+			return fmt.Errorf("store: checkpoint %s: version %d, want %d (delete %s to recompute)",
+				cp.stage, rec.V, checkpointVersion, path)
+		}
+		cp.done[rec.Cell] = rec.Data
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: checkpoint %s: %w", cp.stage, err)
+	}
+	return nil
+}
+
+// Done returns the recorded result for cell, if the cell finished in a
+// previous (or the current) run.
+func (cp *Checkpoint) Done(cell string) (json.RawMessage, bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	raw, ok := cp.done[cell]
+	return raw, ok
+}
+
+// Len is the number of recorded cells.
+func (cp *Checkpoint) Len() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.done)
+}
+
+// Mark records cell's result row. The line is flushed to the OS before
+// Mark returns, so a subsequent SIGINT cannot lose a completed cell.
+func (cp *Checkpoint) Mark(cell string, row any) error {
+	data, err := json.Marshal(row)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint %s cell %s: %w", cp.stage, cell, err)
+	}
+	line, err := json.Marshal(cellRecord{V: checkpointVersion, Cell: cell, Data: data})
+	if err != nil {
+		return fmt.Errorf("store: checkpoint %s cell %s: %w", cp.stage, cell, err)
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.done[cell] = data
+	if _, err := cp.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("store: checkpoint %s cell %s: %w", cp.stage, cell, err)
+	}
+	if err := cp.w.Flush(); err != nil {
+		return fmt.Errorf("store: checkpoint %s cell %s: %w", cp.stage, cell, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the log file.
+func (cp *Checkpoint) Close() error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if err := cp.w.Flush(); err != nil {
+		cp.f.Close()
+		return fmt.Errorf("store: checkpoint %s: %w", cp.stage, err)
+	}
+	if err := cp.f.Close(); err != nil {
+		return fmt.Errorf("store: checkpoint %s: %w", cp.stage, err)
+	}
+	return nil
+}

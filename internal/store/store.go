@@ -1,0 +1,183 @@
+// Package store is the durable artifact store behind the evaluation
+// pipeline: a content-addressed on-disk cache for captured dynamic traces
+// (dyntrace binary format) and workload profiles (profile JSON), plus a
+// JSONL checkpoint log of completed experiment grid cells.
+//
+// Artifacts are keyed by (artifact name, program hash, budget). The
+// program hash is a SHA-256 over the program's canonical assembly dump,
+// so any change to a workload generator or to the clone synthesizer
+// produces a different key and stale artifacts are simply never hit —
+// there is no invalidation protocol. Writes go through a temp file and
+// an atomic rename, so a crash or SIGINT mid-write can never leave a
+// half-written artifact that a later run would load; the dyntrace
+// checksum and the profile loader's structural check are the second line
+// of defense.
+//
+// Layout under the store directory:
+//
+//	traces/<name>-<hash>-b<budget>.dtr     dyntrace binary (versioned, CRC)
+//	profiles/<name>-<hash>-p<insts>.json   profile JSON (profile.Save)
+//	checkpoints/<stage>.jsonl              one line per finished grid cell
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"perfclone/internal/dyntrace"
+	"perfclone/internal/profile"
+	"perfclone/internal/prog"
+)
+
+// Store is a handle on one artifact directory. All methods are safe for
+// concurrent use by the experiment worker pool.
+type Store struct {
+	dir string
+
+	traceHits     atomic.Uint64
+	traceMisses   atomic.Uint64
+	profileHits   atomic.Uint64
+	profileMisses atomic.Uint64
+}
+
+// Counters is a snapshot of the store's hit/miss accounting; the CLI
+// reports it and the golden resume test asserts on it.
+type Counters struct {
+	TraceHits, TraceMisses     uint64
+	ProfileHits, ProfileMisses uint64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"traces", "profiles", "checkpoints"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Counters returns a snapshot of the hit/miss counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		TraceHits:     s.traceHits.Load(),
+		TraceMisses:   s.traceMisses.Load(),
+		ProfileHits:   s.profileHits.Load(),
+		ProfileMisses: s.profileMisses.Load(),
+	}
+}
+
+// ProgramHash returns the content hash that keys artifacts derived from
+// p: a SHA-256 over the canonical assembly dump, truncated to 16 hex
+// digits (64 bits — far beyond collision range for tens of artifacts).
+func ProgramHash(p *prog.Program) string {
+	sum := sha256.Sum256([]byte(p.DumpAsm()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// sanitize keeps artifact file names portable.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+func (s *Store) tracePath(name, hash string, budget uint64) string {
+	return filepath.Join(s.dir, "traces", fmt.Sprintf("%s-%s-b%d.dtr", sanitize(name), hash, budget))
+}
+
+func (s *Store) profilePath(name, hash string, insts uint64) string {
+	return filepath.Join(s.dir, "profiles", fmt.Sprintf("%s-%s-p%d.json", sanitize(name), hash, insts))
+}
+
+// LoadTrace returns the cached trace for (name, hash of p, budget),
+// attached to p, or ok=false on a miss. A present-but-unreadable artifact
+// (corruption, version skew, program mismatch) is an error, not a miss:
+// silently re-capturing would mask store rot.
+func (s *Store) LoadTrace(name string, p *prog.Program, budget uint64) (t *dyntrace.Trace, ok bool, err error) {
+	path := s.tracePath(name, ProgramHash(p), budget)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		s.traceMisses.Add(1)
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	t, err = dyntrace.Load(f, p)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: trace %s: %w", path, err)
+	}
+	s.traceHits.Add(1)
+	return t, true, nil
+}
+
+// SaveTrace writes t under (name, hash of its program, budget) with an
+// atomic temp-file rename.
+func (s *Store) SaveTrace(name string, t *dyntrace.Trace, budget uint64) error {
+	path := s.tracePath(name, ProgramHash(t.Program()), budget)
+	return s.atomicWrite(path, t.Save)
+}
+
+// LoadProfile returns the cached profile for (name, hash, insts), or
+// ok=false on a miss.
+func (s *Store) LoadProfile(name, hash string, insts uint64) (pr *profile.Profile, ok bool, err error) {
+	path := s.profilePath(name, hash, insts)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		s.profileMisses.Add(1)
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	pr, err = profile.Load(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: profile %s: %w", path, err)
+	}
+	s.profileHits.Add(1)
+	return pr, true, nil
+}
+
+// SaveProfile writes pr under (name, hash, insts) atomically.
+func (s *Store) SaveProfile(name, hash string, insts uint64, pr *profile.Profile) error {
+	return s.atomicWrite(s.profilePath(name, hash, insts), pr.Save)
+}
+
+// atomicWrite streams write() into a temp file in the target directory
+// and renames it into place, so concurrent writers and interrupted runs
+// never expose partial artifacts.
+func (s *Store) atomicWrite(path string, write func(w io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package uarch
 
 import (
+	"context"
+
 	"perfclone/internal/bpred"
 	"perfclone/internal/cache"
 	"perfclone/internal/dyntrace"
@@ -185,6 +187,14 @@ func (s *Sim) finish() Stats {
 
 // RunLimits executes the program functionally and times it on cfg.
 func RunLimits(p *prog.Program, cfg Config, lim Limits) (Stats, error) {
+	return RunLimitsContext(context.Background(), p, cfg, lim)
+}
+
+// RunLimitsContext is RunLimits with cooperative cancellation: the run
+// polls ctx at every streamChunk boundary (once per 64k instructions) and
+// aborts with ctx.Err() once it is cancelled, so a SIGINT drains a grid of
+// timing runs in at most one chunk's worth of work per worker.
+func RunLimitsContext(ctx context.Context, p *prog.Program, cfg Config, lim Limits) (Stats, error) {
 	s, err := newSim(cfg)
 	if err != nil {
 		return Stats{}, err
@@ -216,6 +226,9 @@ func RunLimits(p *prog.Program, cfg Config, lim Limits) (Stats, error) {
 		}
 		trace = append(trace, ti)
 		if len(trace) == cap(trace) {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			s.consume(trace)
 			trace = trace[:0]
 		}
@@ -237,6 +250,14 @@ func RunLimits(p *prog.Program, cfg Config, lim Limits) (Stats, error) {
 // this is what lets the evaluation pipeline execute each program once and
 // sweep every cache configuration and design change by replay.
 func Replay(t *dyntrace.Trace, cfg Config, lim Limits) (Stats, error) {
+	return ReplayContext(context.Background(), t, cfg, lim)
+}
+
+// ReplayContext is Replay with cooperative cancellation, polling ctx at
+// every streamChunk boundary like RunLimitsContext. Cancellation does not
+// affect determinism: a run either completes with the exact Replay result
+// or returns ctx.Err() with zero Stats.
+func ReplayContext(ctx context.Context, t *dyntrace.Trace, cfg Config, lim Limits) (Stats, error) {
 	s, err := newSim(cfg)
 	if err != nil {
 		return Stats{}, err
@@ -280,6 +301,9 @@ func Replay(t *dyntrace.Trace, cfg Config, lim Limits) (Stats, error) {
 		ti.Taken = takenBits[i>>6]>>(i&63)&1 == 1
 		chunk = append(chunk, ti)
 		if len(chunk) == cap(chunk) {
+			if err := ctx.Err(); err != nil {
+				return Stats{}, err
+			}
 			s.consume(chunk)
 			chunk = chunk[:0]
 		}
