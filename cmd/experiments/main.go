@@ -4,12 +4,23 @@
 //
 //	experiments [-run all|fig3|fig4|fig5|fig6|fig7|table3|fig8|fig9|ablation]
 //	            [-workloads a,b,c] [-parallel] [-insts N]
-//	            [-store DIR] [-resume] [-progress]
+//	            [-store DIR] [-resume] [-strict-store] [-doctor] [-progress]
 //
 // With -store, captured traces, collected profiles, and finished grid
 // cells persist under DIR; an interrupted run (^C) reports how far it
 // got and -resume picks up from the checkpoints, skipping every cell
 // that already finished.
+//
+// A corrupt or unreadable artifact is normally quarantined (under
+// DIR/quarantine/, with a "store: QUARANTINED" warning on stderr) and
+// recomputed; -strict-store turns it into a hard error instead. -doctor
+// runs the store's verify-and-repair pass — every artifact is
+// re-integrity-checked, failures are quarantined, stale temp files and
+// locks are swept — and exits without running experiments.
+//
+// Exit codes: 0 on success (including a -doctor pass that quarantined
+// artifacts — the repair succeeded), 1 on error, 2 on usage errors,
+// 130 when interrupted.
 package main
 
 import (
@@ -35,11 +46,17 @@ func main() {
 	insts := flag.Uint64("insts", 0, "timing-simulation instruction budget per run (default 500000)")
 	storeDir := flag.String("store", "", "directory for the durable trace/profile store and checkpoints")
 	resume := flag.Bool("resume", false, "skip grid cells checkpointed by a previous -store run (requires -store)")
+	strictStore := flag.Bool("strict-store", false, "abort on corrupt or unreadable store artifacts instead of quarantining and recomputing")
+	doctor := flag.Bool("doctor", false, "verify and repair the -store directory, then exit")
 	progress := flag.Bool("progress", false, "print one line per finished grid cell (stage summaries always print)")
 	flag.Parse()
 
 	if *resume && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -store")
+		os.Exit(2)
+	}
+	if *doctor && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -doctor requires -store")
 		os.Exit(2)
 	}
 
@@ -48,12 +65,28 @@ func main() {
 		opts.Workloads = strings.Split(*wl, ",")
 	}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir)
+		st, err := store.Open(*storeDir, store.WithStrict(*strictStore))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		opts.Store = st
+	}
+
+	if *doctor {
+		rep, err := opts.Store.Doctor()
+		fmt.Fprintf(os.Stderr, "store: doctor scanned %d artifact(s): %d healthy, %d quarantined, %d stale file(s) removed\n",
+			rep.Scanned, rep.Healthy, len(rep.Quarantined), len(rep.Cleaned))
+		for _, q := range rep.Quarantined {
+			fmt.Fprintf(os.Stderr, "store: doctor quarantined %s\n", q)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		// Quarantining is a successful repair (the next run recomputes),
+		// so the pass still exits 0.
+		return
 	}
 
 	// First ^C cancels the run cooperatively: workers stop claiming
@@ -73,8 +106,8 @@ func main() {
 	err := execute(ctx, *run, opts)
 	if opts.Store != nil {
 		c := opts.Store.Counters()
-		fmt.Fprintf(os.Stderr, "store: traces %d hits / %d misses; profiles %d hits / %d misses\n",
-			c.TraceHits, c.TraceMisses, c.ProfileHits, c.ProfileMisses)
+		fmt.Fprintf(os.Stderr, "store: traces %d hits / %d misses; profiles %d hits / %d misses; %d quarantined\n",
+			c.TraceHits, c.TraceMisses, c.ProfileHits, c.ProfileMisses, c.Quarantined)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {

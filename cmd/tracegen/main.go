@@ -29,9 +29,10 @@ func main() {
 	n := flag.Int("n", 100_000, "number of references to generate")
 	replay := flag.String("replay", "", "instead of printing, replay against a cache of this size (e.g. 4KB)")
 	storeDir := flag.String("store", "", "directory for the durable profile store (reuses a cached profile when present)")
+	strictStore := flag.Bool("strict-store", false, "abort on a corrupt or unreadable cached profile instead of quarantining and recollecting")
 	flag.Parse()
 
-	if err := run(*name, *profIn, *n, *replay, *storeDir); err != nil {
+	if err := run(*name, *profIn, *n, *replay, *storeDir, *strictStore); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
@@ -55,7 +56,7 @@ func parseSize(s string) (int, error) {
 	return v * mult, nil
 }
 
-func run(name, profIn string, n int, replay, storeDir string) error {
+func run(name, profIn string, n int, replay, storeDir string, strictStore bool) error {
 	const profileInsts = 1_000_000
 	var prof *profile.Profile
 	if profIn != "" {
@@ -77,7 +78,7 @@ func run(name, profIn string, n int, replay, storeDir string) error {
 		var st *store.Store
 		var hash string
 		if storeDir != "" {
-			st, err = store.Open(storeDir)
+			st, err = store.Open(storeDir, store.WithStrict(strictStore))
 			if err != nil {
 				return err
 			}

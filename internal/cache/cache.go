@@ -452,9 +452,11 @@ func (rs *ReplaySet) Access(addr uint64, write bool) {
 // produced by dyntrace.Trace.Mem — to every cache. It iterates
 // cache-major so each cache's sets stay hot while it consumes the whole
 // stream; the caches are independent, so the statistics are identical to
-// interleaved delivery via Access.
-func (rs *ReplaySet) AccessStream(addrs []uint64, storeBits []uint64) {
-	rs.AccessStreamContext(context.Background(), addrs, storeBits)
+// interleaved delivery via Access. A bitset too short for the address
+// slice is an error, not a panic — trace files arrive from disk and may
+// be damaged.
+func (rs *ReplaySet) AccessStream(addrs []uint64, storeBits []uint64) error {
+	return rs.AccessStreamContext(context.Background(), addrs, storeBits)
 }
 
 // accessStreamCheckEvery is how many references AccessStreamContext
@@ -468,6 +470,9 @@ const accessStreamCheckEvery = 1 << 16
 // poll ctx every accessStreamCheckEvery references and abandon the sweep
 // (returning ctx.Err()) once it is cancelled.
 func (rs *ReplaySet) AccessStreamContext(ctx context.Context, addrs []uint64, storeBits []uint64) error {
+	if need := (len(addrs) + 63) / 64; len(storeBits) < need {
+		return fmt.Errorf("cache: store bitset has %d words for %d references, need %d", len(storeBits), len(addrs), need)
+	}
 	done := ctx.Done()
 	for _, c := range rs.caches {
 		for i, a := range addrs {

@@ -1,0 +1,54 @@
+package dyntrace
+
+import (
+	"bytes"
+	"testing"
+
+	"perfclone/internal/workloads"
+)
+
+// FuzzTraceLoad throws arbitrary bytes at the PCDT decoder. Neither
+// Verify nor Load may panic or allocate unboundedly, whatever the input;
+// returning an error is the only acceptable failure mode. The seed
+// corpus contains one valid trace plus targeted mutations (truncation,
+// flipped CRC, oversized column counts).
+func FuzzTraceLoad(f *testing.F) {
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		f.Fatal(err)
+	}
+	p := w.Build()
+	tr, err := Capture(p, 2_000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte("PCDT"))
+	f.Add([]byte{})
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)-2] ^= 0xff // CRC byte
+	f.Add(flipped)
+	huge := bytes.Clone(valid[:64])
+	for i := 20; i < 60; i++ {
+		huge[i] = 0xff // absurd lengths in the header region
+	}
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = Verify(bytes.NewReader(data))
+		if lt, err := Load(bytes.NewReader(data), p); err == nil {
+			// A successful load must yield a self-consistent trace.
+			if err := lt.check(); err != nil {
+				t.Fatalf("Load accepted a trace that fails check: %v", err)
+			}
+		}
+	})
+}

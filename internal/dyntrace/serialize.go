@@ -79,11 +79,46 @@ func (t *Trace) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a trace written by Save and attaches it to p, the program it
-// was captured from. The static table is rebuilt from p and the dynamic
-// columns are self-checked against it, so feeding a trace to the wrong
-// program (or a corrupted file) fails here rather than during replay.
-func Load(r io.Reader, p *prog.Program) (*Trace, error) {
+// rawTrace is the fully parsed, CRC-verified on-disk payload before any
+// program is attached. Both Load and Verify go through it.
+type rawTrace struct {
+	name     string
+	insts    uint64
+	halted   bool
+	sid      []uint32
+	taken    []uint64
+	memAddr  []uint64
+	memStore []uint64
+}
+
+// maxColumn caps a single dynamic column at 2^31 entries (≈2G dynamic
+// instructions, ~8 GB of ids) — far beyond any capture budget, but small
+// enough that a forged header cannot demand an absurd allocation.
+const maxColumn = 1 << 31
+
+// readColumn reads n little-endian elements in bounded chunks, so the
+// allocation grows only as bytes actually arrive: a forged header
+// claiming a huge column fails with an I/O error after at most one
+// chunk, instead of pre-allocating gigabytes.
+func readColumn[E uint32 | uint64](r io.Reader, n uint64) ([]E, error) {
+	const chunk = 1 << 20
+	var out []E
+	for uint64(len(out)) < n {
+		c := n - uint64(len(out))
+		if c > chunk {
+			c = chunk
+		}
+		start := len(out)
+		out = append(out, make([]E, c)...)
+		if err := binary.Read(r, binary.LittleEndian, out[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// readRaw parses and CRC-checks one serialized trace.
+func readRaw(r io.Reader) (*rawTrace, error) {
 	br := bufio.NewReader(r)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -120,31 +155,30 @@ func Load(r io.Reader, p *prog.Program) (*Trace, error) {
 	if _, err := io.ReadFull(cr, name); err != nil {
 		return nil, fmt.Errorf("dyntrace: load: %w", err)
 	}
+	rt := &rawTrace{name: string(name)}
 	var (
-		insts                             uint64
 		halted                            uint8
 		nSid, nTaken, nMemAddr, nMemStore uint64
 	)
-	if err := read(&insts, &halted, &nSid, &nTaken, &nMemAddr, &nMemStore); err != nil {
+	if err := read(&rt.insts, &halted, &nSid, &nTaken, &nMemAddr, &nMemStore); err != nil {
 		return nil, fmt.Errorf("dyntrace: load %s: %w", name, err)
 	}
-	const maxColumn = 1 << 33 // ~8G entries; far beyond any capture budget
+	rt.halted = halted != 0
 	if nSid > maxColumn || nTaken > maxColumn || nMemAddr > maxColumn || nMemStore > maxColumn {
 		return nil, fmt.Errorf("dyntrace: load %s: implausible column lengths %d/%d/%d/%d",
 			name, nSid, nTaken, nMemAddr, nMemStore)
 	}
-	static, _ := buildStatic(p)
-	t := &Trace{
-		prog:     p,
-		static:   static,
-		sid:      make([]uint32, nSid),
-		taken:    make([]uint64, nTaken),
-		memAddr:  make([]uint64, nMemAddr),
-		memStore: make([]uint64, nMemStore),
-		insts:    insts,
-		halted:   halted != 0,
+	var err error
+	if rt.sid, err = readColumn[uint32](cr, nSid); err != nil {
+		return nil, fmt.Errorf("dyntrace: load %s: %w", name, err)
 	}
-	if err := read(t.sid, t.taken, t.memAddr, t.memStore); err != nil {
+	if rt.taken, err = readColumn[uint64](cr, nTaken); err != nil {
+		return nil, fmt.Errorf("dyntrace: load %s: %w", name, err)
+	}
+	if rt.memAddr, err = readColumn[uint64](cr, nMemAddr); err != nil {
+		return nil, fmt.Errorf("dyntrace: load %s: %w", name, err)
+	}
+	if rt.memStore, err = readColumn[uint64](cr, nMemStore); err != nil {
 		return nil, fmt.Errorf("dyntrace: load %s: %w", name, err)
 	}
 	sum := crc.Sum32()
@@ -155,11 +189,66 @@ func Load(r io.Reader, p *prog.Program) (*Trace, error) {
 	if sum != want {
 		return nil, fmt.Errorf("dyntrace: load %s: checksum mismatch (file %08x, computed %08x)", name, want, sum)
 	}
-	if string(name) != p.Name {
-		return nil, fmt.Errorf("dyntrace: load: trace is for %q, not %q", name, p.Name)
+	return rt, nil
+}
+
+// checkShape validates the program-independent invariants that bind the
+// dynamic columns to each other. Load additionally cross-checks against
+// the program's static table (Trace.check).
+func checkShape(insts uint64, sid []uint32, taken, memAddr, memStore []uint64) error {
+	if insts != uint64(len(sid)) {
+		return fmt.Errorf("insts %d != static-id column length %d", insts, len(sid))
+	}
+	if want := (insts + 63) / 64; uint64(len(taken)) != want {
+		return fmt.Errorf("taken bitset has %d words, want %d for %d instructions", len(taken), want, insts)
+	}
+	if want := (uint64(len(memAddr)) + 63) / 64; uint64(len(memStore)) != want {
+		return fmt.Errorf("store bitset has %d words, want %d for %d references", len(memStore), want, len(memAddr))
+	}
+	return nil
+}
+
+// Verify reads a serialized trace and checks everything that does not
+// require the traced program: magic, version, CRC-32, and the structural
+// invariants binding the columns together. The store's doctor pass uses
+// it to audit artifacts it cannot attach to a program (static-id bounds
+// and the memory-reference cross-count are only checkable by Load).
+func Verify(r io.Reader) error {
+	rt, err := readRaw(r)
+	if err != nil {
+		return err
+	}
+	if err := checkShape(rt.insts, rt.sid, rt.taken, rt.memAddr, rt.memStore); err != nil {
+		return fmt.Errorf("dyntrace: verify %s: %w", rt.name, err)
+	}
+	return nil
+}
+
+// Load reads a trace written by Save and attaches it to p, the program it
+// was captured from. The static table is rebuilt from p and the dynamic
+// columns are self-checked against it, so feeding a trace to the wrong
+// program (or a corrupted file) fails here rather than during replay.
+func Load(r io.Reader, p *prog.Program) (*Trace, error) {
+	rt, err := readRaw(r)
+	if err != nil {
+		return nil, err
+	}
+	if rt.name != p.Name {
+		return nil, fmt.Errorf("dyntrace: load: trace is for %q, not %q", rt.name, p.Name)
+	}
+	static, _ := buildStatic(p)
+	t := &Trace{
+		prog:     p,
+		static:   static,
+		sid:      rt.sid,
+		taken:    rt.taken,
+		memAddr:  rt.memAddr,
+		memStore: rt.memStore,
+		insts:    rt.insts,
+		halted:   rt.halted,
 	}
 	if err := t.check(); err != nil {
-		return nil, fmt.Errorf("dyntrace: load %s: %w", name, err)
+		return nil, fmt.Errorf("dyntrace: load %s: %w", rt.name, err)
 	}
 	return t, nil
 }
@@ -169,14 +258,8 @@ func Load(r io.Reader, p *prog.Program) (*Trace, error) {
 // that pass; Load runs it so corruption or a program mismatch surfaces
 // before any consumer replays garbage.
 func (t *Trace) check() error {
-	if t.insts != uint64(len(t.sid)) {
-		return fmt.Errorf("insts %d != static-id column length %d", t.insts, len(t.sid))
-	}
-	if want := (t.insts + 63) / 64; uint64(len(t.taken)) != want {
-		return fmt.Errorf("taken bitset has %d words, want %d for %d instructions", len(t.taken), want, t.insts)
-	}
-	if want := (uint64(len(t.memAddr)) + 63) / 64; uint64(len(t.memStore)) != want {
-		return fmt.Errorf("store bitset has %d words, want %d for %d references", len(t.memStore), want, len(t.memAddr))
+	if err := checkShape(t.insts, t.sid, t.taken, t.memAddr, t.memStore); err != nil {
+		return err
 	}
 	nStatic := uint32(len(t.static))
 	var memRefs uint64

@@ -10,6 +10,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -60,6 +62,9 @@ type Options struct {
 	// Callbacks are serialized; they may be invoked from worker
 	// goroutines.
 	Progress func(Event)
+	// Log receives degradation warnings — checkpoint rows that could not
+	// be reused or persisted on a non-strict store (default os.Stderr).
+	Log io.Writer
 }
 
 // Event is one progress notification: a finished grid cell, or — with
@@ -97,6 +102,9 @@ func (o Options) withDefaults() Options {
 		if o.TimingWarmup >= o.TimingInsts {
 			o.TimingWarmup = o.TimingInsts / 4
 		}
+	}
+	if o.Log == nil {
+		o.Log = os.Stderr
 	}
 	return o
 }
@@ -307,17 +315,29 @@ type stageRun struct {
 }
 
 // newStage opens the stage's checkpoint (honoring Options.Resume) and
-// starts its wall clock.
+// starts its wall clock. A checkpoint that cannot be opened on a
+// non-strict store degrades to running the stage without one: every cell
+// recomputes and nothing is recorded, but the run completes.
 func newStage(opts Options, name string, total int) (*stageRun, error) {
 	sr := &stageRun{opts: opts, name: name, total: total, start: time.Now()}
 	if opts.Store != nil {
 		cp, err := opts.Store.OpenCheckpoint(name, opts.Resume)
-		if err != nil {
+		switch {
+		case err == nil:
+			sr.cp = cp
+		case opts.Store.Strict():
 			return nil, err
+		default:
+			fmt.Fprintf(opts.Log, "experiments: DEGRADED: %v; stage %s runs without checkpointing\n", err, name)
 		}
-		sr.cp = cp
 	}
 	return sr, nil
+}
+
+// strict reports whether the run's store demands hard failures instead
+// of degradation.
+func (sr *stageRun) strict() bool {
+	return sr.opts.Store != nil && sr.opts.Store.Strict()
 }
 
 // emit records one finished cell and forwards it to Options.Progress.
@@ -355,15 +375,27 @@ func (sr *stageRun) close() {
 // a previous run is unmarshalled into out (byte-identical rows — JSON
 // round-trips float64 exactly); otherwise compute fills out and the
 // result is marked durable before the cell counts as done.
+//
+// On a non-strict store both checkpoint directions degrade rather than
+// abort: a recorded row that does not unmarshal into T is discarded and
+// the cell recomputed, and a row that cannot be persisted is logged as
+// DEGRADED and the run continues (the cell would simply recompute after
+// a crash). Strict stores turn both into hard errors.
 func stageCell[T any](sr *stageRun, key string, out *T, compute func() error) error {
 	start := time.Now()
 	if sr.cp != nil {
 		if raw, ok := sr.cp.Done(key); ok {
-			if err := json.Unmarshal(raw, out); err != nil {
+			err := json.Unmarshal(raw, out)
+			if err == nil {
+				sr.emit(key, true, time.Since(start))
+				return nil
+			}
+			if sr.strict() {
 				return fmt.Errorf("experiments: checkpoint %s cell %s: %w", sr.name, key, err)
 			}
-			sr.emit(key, true, time.Since(start))
-			return nil
+			fmt.Fprintf(sr.opts.Log, "experiments: checkpoint %s cell %s: unusable row (%v); recomputing\n", sr.name, key, err)
+			var zero T // a failed unmarshal may have half-filled out
+			*out = zero
 		}
 	}
 	if err := compute(); err != nil {
@@ -371,7 +403,10 @@ func stageCell[T any](sr *stageRun, key string, out *T, compute func() error) er
 	}
 	if sr.cp != nil {
 		if err := sr.cp.Mark(key, *out); err != nil {
-			return err
+			if sr.strict() {
+				return err
+			}
+			fmt.Fprintf(sr.opts.Log, "experiments: DEGRADED: %v; cell %s recomputes after a crash\n", err, key)
 		}
 	}
 	sr.emit(key, false, time.Since(start))

@@ -1,0 +1,68 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// RetryPolicy bounds how hard the store fights a transient failure. The
+// zero value means "use the defaults below" so it can live inline in a
+// config struct. Sleep is the clock seam: tests substitute a recorder so
+// retries cost no wall time.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first
+	// (default 5).
+	Attempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// round up to MaxDelay (defaults 1ms, 100ms). The actual sleep is
+	// drawn uniformly from [0, delay] ("full jitter") so concurrent
+	// retriers don't stampede in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep defaults to time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetry is the store's policy: worst case ~15ms of backoff.
+var DefaultRetry = RetryPolicy{Attempts: 5, BaseDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetry.Attempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetry.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetry.MaxDelay
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Retry runs op until it succeeds, fails with a non-transient error, or
+// exhausts p.Attempts. The returned error keeps its class, so an
+// exhausted transient failure still reports IsTransient (callers decide
+// whether persistence upgrades it to fatal).
+func Retry(p RetryPolicy, op func() error) error {
+	p = p.withDefaults()
+	delay := p.BaseDelay
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			p.Sleep(time.Duration(rand.Int64N(int64(delay) + 1)))
+			delay *= 2
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		err = op()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("faultinject: %d attempts exhausted: %w", p.Attempts, err)
+}

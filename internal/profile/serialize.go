@@ -3,27 +3,55 @@ package profile
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// Save writes the profile as JSON. This is the dissemination format of
-// Figure 1's "workload profile" box: a vendor profiles the proprietary
-// application in-house and ships either this file or a clone generated
-// from it — never the application.
+// envelope wraps the profile JSON with an integrity checksum. JSON has
+// no framing of its own, so without the CRC a single flipped bit in a
+// digit would silently change a profile value; with it, any damage to
+// the payload is a load error the store can quarantine.
+type envelope struct {
+	CRC32   uint32          `json:"crc32"`
+	Profile json.RawMessage `json:"profile"`
+}
+
+// Save writes the profile as JSON inside a checksummed envelope. This is
+// the dissemination format of Figure 1's "workload profile" box: a
+// vendor profiles the proprietary application in-house and ships either
+// this file or a clone generated from it — never the application.
 func (p *Profile) Save(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(p); err != nil {
+	body, err := json.MarshalIndent(p, "", " ")
+	if err != nil {
+		return fmt.Errorf("profile: save %q: %w", p.Name, err)
+	}
+	// Framed by hand: an indenting json.Encoder would reformat the
+	// payload bytes and the checksum would no longer cover what is on
+	// disk.
+	if _, err := fmt.Fprintf(w, "{\"crc32\":%d,\"profile\":%s}\n", crc32.ChecksumIEEE(body), body); err != nil {
 		return fmt.Errorf("profile: save %q: %w", p.Name, err)
 	}
 	return nil
 }
 
-// Load reads a profile written by Save and rebuilds the lookup maps.
+// Load reads a profile written by Save, verifies its checksum, and
+// rebuilds the lookup maps. Bare profile JSON from before the envelope
+// is still accepted (without integrity protection).
 func Load(r io.Reader) (*Profile, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("profile: load: %w", err)
+	}
+	body := raw
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err == nil && len(env.Profile) > 0 {
+		if crc32.ChecksumIEEE(env.Profile) != env.CRC32 {
+			return nil, fmt.Errorf("profile: load: checksum mismatch (file is corrupt)")
+		}
+		body = env.Profile
+	}
 	var p Profile
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&p); err != nil {
+	if err := json.Unmarshal(body, &p); err != nil {
 		return nil, fmt.Errorf("profile: load: %w", err)
 	}
 	p.Nodes = make(map[NodeKey]*Node, len(p.NodeList))

@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -56,6 +57,65 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if got.StrideCoverage() != orig.StrideCoverage() {
 		t.Fatal("derived metrics changed")
+	}
+}
+
+func TestLoadDetectsAnyBitFlip(t *testing.T) {
+	p := stridedProgram(t, 200, 8)
+	orig, err := Collect(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	// Flip one bit at a time across a sample of positions: every flip
+	// must turn Load into an error — never a profile with changed values.
+	for pos := 0; pos < len(valid); pos += 37 {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(valid)
+			mut[pos] ^= 1 << bit
+			if bytes.Equal(mut, valid) {
+				continue
+			}
+			got, err := Load(bytes.NewReader(mut))
+			if err != nil {
+				continue
+			}
+			// A load that still succeeds must be value-identical (the
+			// flip landed in insignificant whitespace/framing).
+			var a, b bytes.Buffer
+			if orig.Save(&a) == nil && got.Save(&b) == nil && !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("bit flip at byte %d bit %d silently changed the profile", pos, bit)
+			}
+		}
+	}
+}
+
+func TestLoadAcceptsLegacyBareJSON(t *testing.T) {
+	p := stridedProgram(t, 200, 8)
+	orig, err := Collect(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Profile json.RawMessage `json:"profile"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(env.Profile))
+	if err != nil {
+		t.Fatalf("bare pre-envelope JSON must still load: %v", err)
+	}
+	if got.Name != orig.Name || got.TotalInsts != orig.TotalInsts {
+		t.Fatal("legacy load changed values")
 	}
 }
 

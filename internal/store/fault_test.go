@@ -1,0 +1,464 @@
+package store
+
+// Tests for the failure model: quarantine-and-recompute degradation,
+// cross-process artifact locking, fsync-before-rename commits, the
+// doctor repair pass, and checkpoint torn-line recovery.
+
+import (
+	"bytes"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"perfclone/internal/dyntrace"
+	"perfclone/internal/faultinject"
+	"perfclone/internal/workloads"
+)
+
+// corruptFile flips one byte in the middle of path.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptTraceQuarantinedAndRecomputed(t *testing.T) {
+	st, tr := testProgramAndTrace(t)
+	if err := st.SaveTrace("crc32", tr, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	path := st.tracePath("crc32", ProgramHash(tr.Program()), 20_000)
+	corruptFile(t, path)
+
+	var log bytes.Buffer
+	soft, err := Open(st.Dir(), WithLog(&log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := soft.LoadTrace("crc32", tr.Program(), 20_000)
+	if err != nil || ok || got != nil {
+		t.Fatalf("corrupt artifact must degrade to a miss: ok=%v err=%v", ok, err)
+	}
+	if !strings.Contains(log.String(), "store: QUARANTINED") {
+		t.Fatalf("missing greppable quarantine warning, log: %q", log.String())
+	}
+	if c := soft.Counters(); c.Quarantined != 1 || c.TraceMisses != 1 {
+		t.Fatalf("counters %+v, want 1 quarantined / 1 miss", c)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt artifact still in place: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), "quarantine", filepath.Base(path))); err != nil {
+		t.Fatalf("artifact not in quarantine/: %v", err)
+	}
+
+	// The degraded miss is recoverable: recompute, save, and the next
+	// load is a clean hit.
+	if err := soft.SaveTrace("crc32", tr, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := soft.LoadTrace("crc32", tr.Program(), 20_000); err != nil || !ok {
+		t.Fatalf("after recompute: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestConcurrentWritersSerialized(t *testing.T) {
+	dir := t.TempDir()
+	// Two handles simulate two processes sharing one store directory.
+	a, err := Open(dir, WithLog(io.Discard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir, WithLog(io.Discard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := dyntrace.Capture(w.Build(), 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		for _, st := range []*Store{a, b} {
+			wg.Add(1)
+			go func(st *Store) {
+				defer wg.Done()
+				errs <- st.SaveTrace("crc32", tr, 20_000)
+			}(st)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent SaveTrace: %v", err)
+		}
+	}
+	if got, ok, err := a.LoadTrace("crc32", tr.Program(), 20_000); err != nil || !ok || got.Insts() != tr.Insts() {
+		t.Fatalf("artifact unreadable after concurrent writers: ok=%v err=%v", ok, err)
+	}
+	// No leftover claim files or temp files.
+	entries, err := os.ReadDir(filepath.Join(dir, "traces"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") || strings.HasSuffix(e.Name(), ".lock") {
+			t.Fatalf("leftover debris after concurrent writers: %s", e.Name())
+		}
+	}
+}
+
+func TestHeldLockSkipsWriteWhenArtifactExists(t *testing.T) {
+	var log bytes.Buffer
+	st, tr := testProgramAndTrace(t)
+	fast, err := Open(st.Dir(), WithLog(&log), WithLockWait(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.SaveTrace("crc32", tr, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	path := fast.tracePath("crc32", ProgramHash(tr.Program()), 20_000)
+	// A fresh lock held by a (simulated) live peer.
+	if err := os.WriteFile(path+".lock", []byte("424242\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The artifact exists and is content-addressed, so losing the lock
+	// race is not a failure: the write is skipped, nothing degrades.
+	if err := fast.SaveTrace("crc32", tr, 20_000); err != nil {
+		t.Fatalf("lock held + artifact present must skip, got %v", err)
+	}
+	if strings.Contains(log.String(), "DEGRADED") {
+		t.Fatalf("skip must not count as degradation, log: %q", log.String())
+	}
+}
+
+func TestHeldLockWithoutArtifactIsStrictError(t *testing.T) {
+	dir := t.TempDir()
+	strict, err := Open(dir, WithStrict(true), WithLog(io.Discard), WithLockWait(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := dyntrace.Capture(w.Build(), 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := strict.tracePath("crc32", ProgramHash(tr.Program()), 20_000)
+	if err := os.WriteFile(path+".lock", []byte("424242\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := strict.SaveTrace("crc32", tr, 20_000); err == nil {
+		t.Fatal("strict store: lock held with no artifact must error")
+	}
+}
+
+func TestStaleLockStolen(t *testing.T) {
+	st, tr := testProgramAndTrace(t)
+	path := st.tracePath("crc32", ProgramHash(tr.Program()), 20_000)
+	lock := path + ".lock"
+	if err := os.WriteFile(lock, []byte("424242\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// The lock owner crashed an hour ago; the write steals the lock
+	// without waiting out lockWait.
+	start := time.Now()
+	if err := st.SaveTrace("crc32", tr, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("stale lock not stolen promptly: took %v", d)
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Fatalf("lock not released after steal: %v", err)
+	}
+	if _, ok, err := st.LoadTrace("crc32", tr.Program(), 20_000); err != nil || !ok {
+		t.Fatalf("artifact unreadable after steal: ok=%v err=%v", ok, err)
+	}
+}
+
+// countingFS counts Sync calls on every file it hands out, including
+// directory handles, to pin the fsync-before-rename commit protocol.
+type countingFS struct {
+	faultinject.FS
+	syncs *atomic.Int64
+}
+
+type countingFile struct {
+	faultinject.File
+	syncs *atomic.Int64
+}
+
+func (f countingFile) Sync() error {
+	f.syncs.Add(1)
+	return f.File.Sync()
+}
+
+func (c countingFS) Open(name string) (faultinject.File, error) {
+	f, err := c.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return countingFile{f, c.syncs}, nil
+}
+
+func (c countingFS) OpenFile(name string, flag int, perm iofs.FileMode) (faultinject.File, error) {
+	f, err := c.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return countingFile{f, c.syncs}, nil
+}
+
+func (c countingFS) CreateTemp(dir, pattern string) (faultinject.File, error) {
+	f, err := c.FS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return countingFile{f, c.syncs}, nil
+}
+
+func TestAtomicWriteFsyncsFileAndDir(t *testing.T) {
+	var syncs atomic.Int64
+	st, err := Open(t.TempDir(), WithFS(countingFS{faultinject.OS, &syncs}), WithLog(io.Discard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := dyntrace.Capture(w.Build(), 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveTrace("crc32", tr, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	// One fsync on the temp file before the rename, one on the parent
+	// directory after it.
+	if n := syncs.Load(); n < 2 {
+		t.Fatalf("atomic commit issued %d fsyncs, want >= 2 (temp file + directory)", n)
+	}
+}
+
+func TestDoctorQuarantinesAndCleans(t *testing.T) {
+	var log bytes.Buffer
+	st, tr := testProgramAndTrace(t)
+	stl, err := Open(st.Dir(), WithLog(&log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stl.SaveTrace("crc32", tr, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	// A profile artifact that is pure garbage.
+	badProfile := filepath.Join(st.Dir(), "profiles", "bogus-deadbeef-p100.json")
+	if err := os.WriteFile(badProfile, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Debris: a stale temp file and a stale lock from a crashed writer,
+	// plus a fresh temp file that could belong to a live writer.
+	tracesDir := filepath.Join(st.Dir(), "traces")
+	staleTmp := filepath.Join(tracesDir, "old.dtr.tmp123")
+	staleLock := filepath.Join(tracesDir, "old.dtr.lock")
+	freshTmp := filepath.Join(tracesDir, "new.dtr.tmp456")
+	for _, p := range []string{staleTmp, staleLock, freshTmp} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-time.Hour)
+	for _, p := range []string{staleTmp, staleLock} {
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep, err := stl.Doctor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 2 || rep.Healthy != 1 {
+		t.Fatalf("report %+v, want 2 scanned / 1 healthy", rep)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != badProfile {
+		t.Fatalf("quarantined %v, want [%s]", rep.Quarantined, badProfile)
+	}
+	if len(rep.Cleaned) != 2 {
+		t.Fatalf("cleaned %v, want the stale tmp and lock", rep.Cleaned)
+	}
+	if _, err := os.Stat(freshTmp); err != nil {
+		t.Fatalf("doctor must leave fresh temp files alone: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), "quarantine", filepath.Base(badProfile))); err != nil {
+		t.Fatalf("bad profile not in quarantine/: %v", err)
+	}
+
+	// A second pass over the repaired store finds nothing to fix.
+	rep2, err := stl.Doctor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Scanned != rep2.Healthy || len(rep2.Quarantined) != 0 {
+		t.Fatalf("second pass %+v, want all healthy", rep2)
+	}
+}
+
+func TestCheckpointMultiTornLinesRecovered(t *testing.T) {
+	var log bytes.Buffer
+	st, err := Open(t.TempDir(), WithLog(&log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := st.OpenCheckpoint("grid", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []string{"a", "b", "c"} {
+		if err := cp.Mark(cell, map[string]int{"n": len(cell)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp.Close()
+
+	// Rebuild the file with garbage interleaved between the intact
+	// records: a torn JSON prefix, plain junk, a record whose payload was
+	// bit-flipped after the CRC was computed (still valid JSON), and a
+	// torn tail.
+	path := filepath.Join(st.Dir(), "checkpoints", "grid.jsonl")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("setup: %d lines, want 3", len(lines))
+	}
+	flipped := strings.Replace(lines[2], `"n":1`, `"n":7`, 1)
+	if flipped == lines[2] {
+		t.Fatal("setup: payload substitution failed")
+	}
+	mangled := strings.Join([]string{
+		lines[0],
+		`{"v":2,"cell":"torn","crc":1,"da`, // crash mid-append
+		lines[1],
+		"####garbage####", // not JSON at all
+		flipped,           // parses, fails CRC
+		lines[2],
+		`{"v":2,"ce`, // torn tail, no newline
+	}, "\n")
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := st.OpenCheckpoint("grid", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Len() != 3 {
+		t.Fatalf("recovered %d cells, want all 3 intact records", cp2.Len())
+	}
+	for _, cell := range []string{"a", "b", "c"} {
+		if _, ok := cp2.Done(cell); !ok {
+			t.Fatalf("cell %s lost", cell)
+		}
+	}
+	if raw, _ := cp2.Done("c"); string(raw) != `{"n":1}` {
+		t.Fatalf("bit-flipped record won over the intact one: %s", raw)
+	}
+	if !strings.Contains(log.String(), "dropped 4 torn or corrupt line(s)") {
+		t.Fatalf("missing torn-line warning, log: %q", log.String())
+	}
+}
+
+// tornOnceFS tears the first sufficiently large write to a checkpoint
+// file: half the bytes land, then a transient EIO.
+type tornOnceFS struct {
+	faultinject.FS
+	torn *atomic.Bool
+}
+
+type tornOnceFile struct {
+	faultinject.File
+	torn *atomic.Bool
+}
+
+func (f tornOnceFile) Write(p []byte) (int, error) {
+	if len(p) > 10 && f.torn.CompareAndSwap(false, true) {
+		n, _ := f.File.Write(p[: len(p)/2 : len(p)/2])
+		return n, faultinject.MarkTransient(syscall.EIO)
+	}
+	return f.File.Write(p)
+}
+
+func (fs tornOnceFS) OpenFile(name string, flag int, perm iofs.FileMode) (faultinject.File, error) {
+	f, err := fs.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(name, ".jsonl") {
+		return tornOnceFile{f, fs.torn}, nil
+	}
+	return f, nil
+}
+
+func TestCheckpointTornWriteIsolatedByNewline(t *testing.T) {
+	var torn atomic.Bool
+	st, err := Open(t.TempDir(), WithFS(tornOnceFS{faultinject.OS, &torn}), WithLog(io.Discard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := st.OpenCheckpoint("grid", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Mark("a", map[string]int{"n": 1}); err != nil {
+		t.Fatalf("Mark must absorb a transient torn write via retry: %v", err)
+	}
+	if err := cp.Mark("b", map[string]int{"n": 2}); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	if !torn.Load() {
+		t.Fatal("setup: fault never fired")
+	}
+	cp2, err := st.OpenCheckpoint("grid", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	// The torn half-line sits isolated on its own line; both real
+	// records survive.
+	if cp2.Len() != 2 {
+		t.Fatalf("recovered %d cells, want 2", cp2.Len())
+	}
+}

@@ -7,30 +7,47 @@
 // program hash is a SHA-256 over the program's canonical assembly dump,
 // so any change to a workload generator or to the clone synthesizer
 // produces a different key and stale artifacts are simply never hit —
-// there is no invalidation protocol. Writes go through a temp file and
-// an atomic rename, so a crash or SIGINT mid-write can never leave a
-// half-written artifact that a later run would load; the dyntrace
-// checksum and the profile loader's structural check are the second line
-// of defense.
+// there is no invalidation protocol. Writes go through a temp file that
+// is fsynced, atomically renamed into place, and sealed with a parent-
+// directory fsync, so neither a crash nor a SIGINT mid-write can commit
+// a torn artifact; the dyntrace checksum and the profile loader's
+// structural check are the second line of defense.
+//
+// Failure model. All I/O goes through a faultinject.FS seam and obeys
+// the package's error taxonomy: transient errors (EIO, ENOSPC, …) are
+// retried with bounded exponential backoff; an artifact that is corrupt
+// or still unreadable after retries is moved to quarantine/ with a
+// greppable "store: QUARANTINED" warning and reported as a miss, so the
+// caller recomputes instead of aborting (WithStrict restores the abort
+// behavior). Concurrent runs sharing one store serialize per-artifact
+// writes with an O_EXCL claim file (<artifact>.lock); a writer that
+// loses the race skips its write, because content-addressed artifacts
+// are deterministic. Doctor is the offline verify-and-repair pass.
 //
 // Layout under the store directory:
 //
 //	traces/<name>-<hash>-b<budget>.dtr     dyntrace binary (versioned, CRC)
 //	profiles/<name>-<hash>-p<insts>.json   profile JSON (profile.Save)
 //	checkpoints/<stage>.jsonl              one line per finished grid cell
+//	quarantine/<artifact>                  corrupt artifacts, moved aside
 package store
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"perfclone/internal/dyntrace"
+	"perfclone/internal/faultinject"
 	"perfclone/internal/profile"
 	"perfclone/internal/prog"
 )
@@ -38,33 +55,78 @@ import (
 // Store is a handle on one artifact directory. All methods are safe for
 // concurrent use by the experiment worker pool.
 type Store struct {
-	dir string
+	dir      string
+	fs       faultinject.FS
+	strict   bool
+	log      io.Writer
+	retry    faultinject.RetryPolicy
+	lockWait time.Duration
 
 	traceHits     atomic.Uint64
 	traceMisses   atomic.Uint64
 	profileHits   atomic.Uint64
 	profileMisses atomic.Uint64
+	quarantined   atomic.Uint64
 }
 
-// Counters is a snapshot of the store's hit/miss accounting; the CLI
-// reports it and the golden resume test asserts on it.
+// Option configures Open.
+type Option func(*Store)
+
+// WithFS routes every store I/O through fsys (chaos tests inject a
+// faultinject.FaultFS here; production uses the default faultinject.OS).
+func WithFS(fsys faultinject.FS) Option { return func(s *Store) { s.fs = fsys } }
+
+// WithStrict makes a corrupt or unreadable artifact a hard error instead
+// of quarantine-and-recompute (the CLI's -strict-store).
+func WithStrict(strict bool) Option { return func(s *Store) { s.strict = strict } }
+
+// WithLog redirects the store's degradation warnings (default os.Stderr).
+func WithLog(w io.Writer) Option { return func(s *Store) { s.log = w } }
+
+// WithRetry overrides the transient-failure retry policy.
+func WithRetry(p faultinject.RetryPolicy) Option { return func(s *Store) { s.retry = p } }
+
+// WithLockWait bounds how long a writer waits for a peer's artifact lock
+// before concluding the peer owns the write (default 10s).
+func WithLockWait(d time.Duration) Option { return func(s *Store) { s.lockWait = d } }
+
+// Counters is a snapshot of the store's accounting; the CLI reports it
+// and the golden resume and chaos tests assert on it.
 type Counters struct {
 	TraceHits, TraceMisses     uint64
 	ProfileHits, ProfileMisses uint64
+	// Quarantined counts artifacts moved aside as corrupt or unreadable.
+	Quarantined uint64
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
-func Open(dir string) (*Store, error) {
-	for _, sub := range []string{"traces", "profiles", "checkpoints"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{
+		dir:      dir,
+		fs:       faultinject.OS,
+		log:      os.Stderr,
+		lockWait: 10 * time.Second,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	for _, sub := range []string{"traces", "profiles", "checkpoints", "quarantine"} {
+		err := faultinject.Retry(s.retry, func() error {
+			return s.fs.MkdirAll(filepath.Join(dir, sub), 0o755)
+		})
+		if err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
 	}
-	return &Store{dir: dir}, nil
+	return s, nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Strict reports whether the store aborts (rather than degrades) on
+// corrupt or unreadable artifacts.
+func (s *Store) Strict() bool { return s.strict }
 
 // Counters returns a snapshot of the hit/miss counters.
 func (s *Store) Counters() Counters {
@@ -73,6 +135,7 @@ func (s *Store) Counters() Counters {
 		TraceMisses:   s.traceMisses.Load(),
 		ProfileHits:   s.profileHits.Load(),
 		ProfileMisses: s.profileMisses.Load(),
+		Quarantined:   s.quarantined.Load(),
 	}
 }
 
@@ -104,80 +167,241 @@ func (s *Store) profilePath(name, hash string, insts uint64) string {
 	return filepath.Join(s.dir, "profiles", fmt.Sprintf("%s-%s-p%d.json", sanitize(name), hash, insts))
 }
 
+// readArtifact opens path and runs load over its contents, retrying
+// transient faults with a fresh open each attempt. A missing file
+// surfaces as iofs.ErrNotExist.
+func (s *Store) readArtifact(path string, load func(io.Reader) error) error {
+	return faultinject.Retry(s.retry, func() error {
+		f, err := s.fs.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return load(f)
+	})
+}
+
+// degradeLoad implements the shared artifact-load policy after a
+// non-missing failure: strict aborts; otherwise the artifact is
+// quarantined, a warning is logged, and the load degrades to a miss so
+// the caller recomputes.
+func (s *Store) degradeLoad(path string, err error) error {
+	if s.strict {
+		return fmt.Errorf("store: %s: %w (strict mode: run -doctor, or drop -strict-store to quarantine and recompute)", path, err)
+	}
+	s.quarantine(path, err)
+	return nil
+}
+
+// quarantine moves a bad artifact into quarantine/ (falling back to
+// deletion if even the rename keeps failing) and logs a greppable
+// warning. The artifact is counted once either way.
+func (s *Store) quarantine(path string, cause error) {
+	dest := filepath.Join(s.dir, "quarantine", filepath.Base(path))
+	err := faultinject.Retry(s.retry, func() error { return s.fs.Rename(path, dest) })
+	if err != nil {
+		if rerr := faultinject.Retry(s.retry, func() error { return s.fs.Remove(path) }); rerr == nil {
+			dest = "(deleted: quarantine rename failed)"
+		} else {
+			dest = "(left in place: quarantine failed)"
+		}
+	}
+	s.quarantined.Add(1)
+	fmt.Fprintf(s.log, "store: QUARANTINED %s -> %s: %v; recomputing\n", path, dest, cause)
+}
+
 // LoadTrace returns the cached trace for (name, hash of p, budget),
-// attached to p, or ok=false on a miss. A present-but-unreadable artifact
-// (corruption, version skew, program mismatch) is an error, not a miss:
-// silently re-capturing would mask store rot.
+// attached to p, or ok=false on a miss. A present-but-unloadable
+// artifact (corruption, version skew, program mismatch, persistent read
+// errors) is quarantined and degrades to a miss — the caller recomputes
+// — unless the store is strict, in which case it is an error.
 func (s *Store) LoadTrace(name string, p *prog.Program, budget uint64) (t *dyntrace.Trace, ok bool, err error) {
 	path := s.tracePath(name, ProgramHash(p), budget)
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+	var tr *dyntrace.Trace
+	lerr := s.readArtifact(path, func(r io.Reader) error {
+		t2, err := dyntrace.Load(r, p)
+		if err != nil {
+			return err
+		}
+		tr = t2
+		return nil
+	})
+	switch {
+	case lerr == nil:
+		s.traceHits.Add(1)
+		return tr, true, nil
+	case errors.Is(lerr, iofs.ErrNotExist):
 		s.traceMisses.Add(1)
 		return nil, false, nil
 	}
-	if err != nil {
-		return nil, false, fmt.Errorf("store: %w", err)
+	if err := s.degradeLoad(path, fmt.Errorf("trace: %w", lerr)); err != nil {
+		return nil, false, err
 	}
-	defer f.Close()
-	t, err = dyntrace.Load(f, p)
-	if err != nil {
-		return nil, false, fmt.Errorf("store: trace %s: %w", path, err)
-	}
-	s.traceHits.Add(1)
-	return t, true, nil
+	s.traceMisses.Add(1)
+	return nil, false, nil
 }
 
-// SaveTrace writes t under (name, hash of its program, budget) with an
-// atomic temp-file rename.
+// SaveTrace writes t under (name, hash of its program, budget) with a
+// locked, fsynced, atomic temp-file rename.
 func (s *Store) SaveTrace(name string, t *dyntrace.Trace, budget uint64) error {
 	path := s.tracePath(name, ProgramHash(t.Program()), budget)
-	return s.atomicWrite(path, t.Save)
+	return s.saveArtifact(path, t.Save)
 }
 
 // LoadProfile returns the cached profile for (name, hash, insts), or
-// ok=false on a miss.
+// ok=false on a miss, with the same degradation policy as LoadTrace.
 func (s *Store) LoadProfile(name, hash string, insts uint64) (pr *profile.Profile, ok bool, err error) {
 	path := s.profilePath(name, hash, insts)
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+	var got *profile.Profile
+	lerr := s.readArtifact(path, func(r io.Reader) error {
+		p2, err := profile.Load(r)
+		if err != nil {
+			return err
+		}
+		got = p2
+		return nil
+	})
+	switch {
+	case lerr == nil:
+		s.profileHits.Add(1)
+		return got, true, nil
+	case errors.Is(lerr, iofs.ErrNotExist):
 		s.profileMisses.Add(1)
 		return nil, false, nil
 	}
-	if err != nil {
-		return nil, false, fmt.Errorf("store: %w", err)
+	if err := s.degradeLoad(path, fmt.Errorf("profile: %w", lerr)); err != nil {
+		return nil, false, err
 	}
-	defer f.Close()
-	pr, err = profile.Load(f)
-	if err != nil {
-		return nil, false, fmt.Errorf("store: profile %s: %w", path, err)
-	}
-	s.profileHits.Add(1)
-	return pr, true, nil
+	s.profileMisses.Add(1)
+	return nil, false, nil
 }
 
 // SaveProfile writes pr under (name, hash, insts) atomically.
 func (s *Store) SaveProfile(name, hash string, insts uint64, pr *profile.Profile) error {
-	return s.atomicWrite(s.profilePath(name, hash, insts), pr.Save)
+	return s.saveArtifact(s.profilePath(name, hash, insts), pr.Save)
 }
 
-// atomicWrite streams write() into a temp file in the target directory
-// and renames it into place, so concurrent writers and interrupted runs
-// never expose partial artifacts.
+// saveArtifact is atomicWrite plus the degradation policy for writes: a
+// store that cannot persist an artifact has lost durability, not
+// correctness, so a non-strict store logs a greppable "store: DEGRADED"
+// warning and lets the run continue uncached.
+func (s *Store) saveArtifact(path string, write func(io.Writer) error) error {
+	err := s.atomicWrite(path, write)
+	if err == nil || s.strict {
+		return err
+	}
+	fmt.Fprintf(s.log, "store: DEGRADED: %v; continuing without caching %s\n", err, filepath.Base(path))
+	return nil
+}
+
+// errLockHeld reports that another writer held an artifact lock for the
+// whole lock-wait window.
+var errLockHeld = errors.New("artifact lock held by another writer")
+
+// atomicWrite streams write() into a temp file, fsyncs it, renames it
+// into place, and fsyncs the parent directory, all under the artifact's
+// claim-file lock so two processes sharing the store never interleave.
+// Transient faults retry the whole attempt with a fresh temp file.
 func (s *Store) atomicWrite(path string, write func(w io.Writer) error) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	release, err := s.lockPath(path)
+	if err != nil {
+		if errors.Is(err, errLockHeld) {
+			// The peer holding the lock is writing this same artifact.
+			// Artifacts are content-addressed and writes deterministic:
+			// if the peer's write landed, ours would be byte-identical.
+			if _, serr := s.fs.Stat(path); serr == nil {
+				return nil
+			}
+		}
+		return fmt.Errorf("store: %s: %w", path, err)
+	}
+	defer release()
+	return faultinject.Retry(s.retry, func() error { return s.writeOnce(path, write) })
+}
+
+// writeOnce is one full commit attempt: temp file, payload, fsync,
+// rename, directory fsync.
+func (s *Store) writeOnce(path string, write func(w io.Writer) error) error {
+	tmp, err := s.fs.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	tmpName := tmp.Name()
+	defer func() { _ = s.fs.Remove(tmpName) }() // no-op once renamed
 	if err := write(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: write %s: %w", path, err)
 	}
+	// fsync before rename: the rename must never publish an artifact
+	// whose bytes are not yet durable, or a crash right after the rename
+	// could leave a committed-but-torn file.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync %s: %w", path, err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: write %s: %w", path, err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := s.fs.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	// fsync the directory so the rename itself survives a crash.
+	return s.syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory; filesystems that cannot sync a directory
+// handle (EINVAL/ENOTSUP) are tolerated.
+func (s *Store) syncDir(dir string) error {
+	d, err := s.fs.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: sync %s: %w", dir, err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("store: sync %s: %w", dir, err)
+	}
 	return nil
+}
+
+// staleLockAge is how old an artifact lock must be before a writer
+// concludes its owner crashed and steals it.
+const staleLockAge = 10 * time.Minute
+
+// lockPath takes the cross-process advisory lock for one artifact path
+// via an O_EXCL claim file. It polls with backoff up to s.lockWait, then
+// returns errLockHeld; locks older than staleLockAge are stolen (their
+// owner crashed before removing them).
+func (s *Store) lockPath(path string) (release func(), err error) {
+	lock := path + ".lock"
+	deadline := time.Now().Add(s.lockWait)
+	poll := 2 * time.Millisecond
+	for {
+		f, err := s.fs.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			f.Close()
+			return func() {
+				_ = faultinject.Retry(s.retry, func() error { return s.fs.Remove(lock) })
+			}, nil
+		}
+		switch {
+		case errors.Is(err, iofs.ErrExist):
+			if st, serr := s.fs.Stat(lock); serr == nil && time.Since(st.ModTime()) > staleLockAge {
+				_ = s.fs.Remove(lock)
+				continue
+			}
+		case faultinject.IsTransient(err):
+			// fall through to the poll sleep
+		default:
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, errLockHeld
+		}
+		time.Sleep(poll)
+		if poll < 50*time.Millisecond {
+			poll *= 2
+		}
+	}
 }

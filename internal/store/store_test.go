@@ -1,6 +1,7 @@
 package store
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -55,7 +56,7 @@ func TestTraceRoundTripAndCounters(t *testing.T) {
 	}
 }
 
-func TestCorruptTraceIsErrorNotMiss(t *testing.T) {
+func TestCorruptTraceStrictIsError(t *testing.T) {
 	st, tr := testProgramAndTrace(t)
 	if err := st.SaveTrace("crc32", tr, 20_000); err != nil {
 		t.Fatal(err)
@@ -69,8 +70,20 @@ func TestCorruptTraceIsErrorNotMiss(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := st.LoadTrace("crc32", tr.Program(), 20_000); err == nil {
-		t.Fatalf("corrupt artifact must error, got ok=%v", ok)
+	// Strict mode keeps the old abort behavior: corruption is an error,
+	// never a silent miss, and nothing is quarantined.
+	strict, err := Open(st.Dir(), WithStrict(true), WithLog(io.Discard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := strict.LoadTrace("crc32", tr.Program(), 20_000); err == nil {
+		t.Fatalf("strict store: corrupt artifact must error, got ok=%v", ok)
+	}
+	if strict.Counters().Quarantined != 0 {
+		t.Fatal("strict store must not quarantine")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("strict store must leave the artifact in place: %v", err)
 	}
 }
 
