@@ -5,34 +5,71 @@
 // Usage:
 //
 //	clonegen -workload crc32 [-o clone.c] [-blocks N] [-iters N] [-seed N]
-//	         [-disasm]
+//	         [-disasm] [-validate] [-tolerance F] [-max-repair N]
+//	         [-report FILE]
+//
+// With -validate, the generated clone is re-profiled and compared
+// against the target profile attribute by attribute (instruction mix,
+// dependency distances, stride coverage, branch behaviour, SFG
+// block frequencies); a failing clone is regenerated with derived seeds
+// up to -max-repair times. Every attribute verdict prints to stderr as a
+// greppable "fidelity: PASS|FAIL <attr>" line, -report writes the
+// structured JSON report, and a clone that never passes is an error
+// (exit 1) — nothing is emitted. -tolerance scales the default
+// per-attribute tolerances uniformly (>1 loosens, <1 tightens).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"perfclone/internal/codegen"
+	"perfclone/internal/fidelity"
 	"perfclone/internal/profile"
 	"perfclone/internal/synth"
 	"perfclone/internal/workloads"
 )
 
+type options struct {
+	name, profIn, profOut, out, dialect string
+	blocks, iters                       int
+	seed, maxInsts                      uint64
+	disasm                              bool
+	validate                            bool
+	tolerance                           float64
+	maxRepair                           int
+	report                              string
+}
+
 func main() {
-	name := flag.String("workload", "", "workload to clone (see cmd/profiler -list)")
-	profIn := flag.String("profile-in", "", "generate from a saved profile JSON instead of a workload")
-	profOut := flag.String("profile-out", "", "also save the measured profile as JSON (the vendor-side artifact)")
-	out := flag.String("o", "", "write the generated C source to this file (default stdout)")
-	blocks := flag.Int("blocks", 0, "target basic-block count (default adaptive)")
-	iters := flag.Int("iters", 0, "outer-loop iterations (default matches profiled length)")
-	seed := flag.Uint64("seed", 1, "synthesis PRNG seed")
-	maxInsts := flag.Uint64("profile-insts", 1_000_000, "dynamic instructions to profile")
-	disasm := flag.Bool("disasm", false, "emit ISA disassembly instead of C")
-	dialect := flag.String("dialect", "generic", "asm dialect: generic, riscv, arm64")
+	var o options
+	flag.StringVar(&o.name, "workload", "", "workload to clone (see cmd/profiler -list)")
+	flag.StringVar(&o.profIn, "profile-in", "", "generate from a saved profile JSON instead of a workload")
+	flag.StringVar(&o.profOut, "profile-out", "", "also save the measured profile as JSON (the vendor-side artifact)")
+	flag.StringVar(&o.out, "o", "", "write the generated C source to this file (default stdout)")
+	flag.IntVar(&o.blocks, "blocks", 0, "target basic-block count (default adaptive)")
+	flag.IntVar(&o.iters, "iters", 0, "outer-loop iterations (default matches profiled length)")
+	flag.Uint64Var(&o.seed, "seed", 1, "synthesis PRNG seed")
+	flag.Uint64Var(&o.maxInsts, "profile-insts", 1_000_000, "dynamic instructions to profile")
+	flag.BoolVar(&o.disasm, "disasm", false, "emit ISA disassembly instead of C")
+	flag.StringVar(&o.dialect, "dialect", "generic", "asm dialect: generic, riscv, arm64")
+	flag.BoolVar(&o.validate, "validate", false, "re-profile the clone and gate it on fidelity to the target profile")
+	flag.Float64Var(&o.tolerance, "tolerance", 0, "scale the default fidelity tolerances uniformly (>1 loosens, <1 tightens)")
+	flag.IntVar(&o.maxRepair, "max-repair", 0, "regeneration attempts after a failed check (default 3, negative = none)")
+	flag.StringVar(&o.report, "report", "", "write the JSON fidelity report to this file (requires -validate)")
 	flag.Parse()
 
-	if err := run(*name, *profIn, *profOut, *out, *dialect, *blocks, *iters, *seed, *maxInsts, *disasm); err != nil {
+	if o.tolerance < 0 {
+		fmt.Fprintln(os.Stderr, "clonegen: -tolerance must be positive")
+		os.Exit(2)
+	}
+	if o.report != "" && !o.validate {
+		fmt.Fprintln(os.Stderr, "clonegen: -report requires -validate")
+		os.Exit(2)
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "clonegen:", err)
 		os.Exit(1)
 	}
@@ -56,16 +93,40 @@ func loadOrCollect(name, profIn string, maxInsts uint64) (*profile.Profile, erro
 	return profile.Collect(w.Build(), profile.Options{MaxInsts: maxInsts})
 }
 
-func run(name, profIn, profOut, out, dialect string, blocks, iters int, seed, maxInsts uint64, disasm bool) error {
-	prof, err := loadOrCollect(name, profIn, maxInsts)
+// generate synthesizes the clone, through the closed fidelity loop when
+// -validate is set. The JSON report is written even when the gate fails,
+// so a CI run has the artifact that explains its red build.
+func generate(o options, prof *profile.Profile, cfg synth.Config) (*synth.Clone, error) {
+	if !o.validate {
+		return synth.Generate(prof, cfg)
+	}
+	fo := fidelity.Options{MaxRepair: o.maxRepair, Log: os.Stderr}
+	if o.tolerance > 0 {
+		fo.Tol = fidelity.DefaultTolerances().Scale(o.tolerance)
+	}
+	clone, rep, err := fidelity.Generate(prof, cfg, fo)
+	if o.report != "" && rep != nil {
+		raw, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr == nil {
+			jerr = os.WriteFile(o.report, append(raw, '\n'), 0o644)
+		}
+		if jerr != nil && err == nil {
+			err = fmt.Errorf("writing -report: %w", jerr)
+		}
+	}
+	return clone, err
+}
+
+func run(o options) error {
+	prof, err := loadOrCollect(o.name, o.profIn, o.maxInsts)
 	if err != nil {
 		return err
 	}
-	if name == "" {
-		name = prof.Name
+	if o.name == "" {
+		o.name = prof.Name
 	}
-	if profOut != "" {
-		f, err := os.Create(profOut)
+	if o.profOut != "" {
+		f, err := os.Create(o.profOut)
 		if err != nil {
 			return err
 		}
@@ -77,38 +138,38 @@ func run(name, profIn, profOut, out, dialect string, blocks, iters int, seed, ma
 			return err
 		}
 	}
-	clone, err := synth.Generate(prof, synth.Config{
-		TargetBlocks: blocks,
-		Iterations:   iters,
-		Seed:         seed,
+	clone, err := generate(o, prof, synth.Config{
+		TargetBlocks: o.blocks,
+		Iterations:   o.iters,
+		Seed:         o.seed,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "clone of %s: %d blocks, %d body insts, %d iterations, %d stream pools\n",
-		name, len(clone.Program.Blocks), clone.BodyInsts, clone.Iterations, len(clone.Pools))
+		o.name, len(clone.Program.Blocks), clone.BodyInsts, clone.Iterations, len(clone.Pools))
 	for _, pool := range clone.Pools {
 		fmt.Fprintf(os.Stderr, "  pool %s: stride %d, advance %d, reset %d iters, %d members, %d bytes\n",
 			pool.Reg, pool.Stride, pool.Advance, pool.ResetIters, pool.Members, pool.RegionBytes)
 	}
 
 	var text string
-	if disasm {
+	if o.disasm {
 		// The DumpAsm form round-trips through prog.Parse, so the clone
 		// can be re-run with `simrun -file`.
 		text = clone.Program.DumpAsm()
 	} else {
 		text, err = codegen.EmitC(clone.Program, codegen.Options{
-			FuncName: name + "_clone",
-			Dialect:  codegen.Dialect(dialect),
+			FuncName: o.name + "_clone",
+			Dialect:  codegen.Dialect(o.dialect),
 		})
 		if err != nil {
 			return err
 		}
 	}
-	if out == "" {
+	if o.out == "" {
 		fmt.Print(text)
 		return nil
 	}
-	return os.WriteFile(out, []byte(text), 0o644)
+	return os.WriteFile(o.out, []byte(text), 0o644)
 }

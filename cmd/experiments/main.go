@@ -5,6 +5,14 @@
 //	experiments [-run all|fig3|fig4|fig5|fig6|fig7|table3|fig8|fig9|ablation]
 //	            [-workloads a,b,c] [-parallel] [-insts N]
 //	            [-store DIR] [-resume] [-strict-store] [-doctor] [-progress]
+//	            [-fidelity] [-strict-fidelity] [-fidelity-tolerance F]
+//
+// With -fidelity, every generated clone passes through the closed-loop
+// fidelity gate (re-profile, compare against the target profile, bounded
+// deterministic repair) before any figure consumes it; a clone that
+// still fails degrades to the ungated clone with a DEGRADED warning.
+// -strict-fidelity aborts the run instead, with the full per-attribute
+// report. -fidelity-tolerance scales the default tolerances uniformly.
 //
 // With -store, captured traces, collected profiles, and finished grid
 // cells persist under DIR; an interrupted run (^C) reports how far it
@@ -49,7 +57,15 @@ func main() {
 	strictStore := flag.Bool("strict-store", false, "abort on corrupt or unreadable store artifacts instead of quarantining and recomputing")
 	doctor := flag.Bool("doctor", false, "verify and repair the -store directory, then exit")
 	progress := flag.Bool("progress", false, "print one line per finished grid cell (stage summaries always print)")
+	fidelity := flag.Bool("fidelity", false, "gate every clone on the closed-loop fidelity check (failures degrade with a warning)")
+	strictFidelity := flag.Bool("strict-fidelity", false, "abort when a clone fails the fidelity gate instead of degrading (implies -fidelity)")
+	fidelityTol := flag.Float64("fidelity-tolerance", 0, "scale the default fidelity tolerances uniformly (>1 loosens, <1 tightens)")
 	flag.Parse()
+
+	if *fidelityTol < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -fidelity-tolerance must be positive")
+		os.Exit(2)
+	}
 
 	if *resume && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -store")
@@ -60,7 +76,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := experiments.Options{Parallel: *parallel, Workers: *workers, TimingInsts: *insts, Resume: *resume}
+	opts := experiments.Options{
+		Parallel: *parallel, Workers: *workers, TimingInsts: *insts, Resume: *resume,
+		Fidelity: *fidelity, StrictFidelity: *strictFidelity, FidelityTolerance: *fidelityTol,
+	}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
 	}

@@ -168,6 +168,7 @@ func rewriteProfile(prof *profile.Profile, stride int64, footprint uint64, mispr
 		nm.DominantCount = nm.Count
 		nm.MinAddr = 0
 		nm.MaxAddr = footprint
+		nm.FirstAddr = 0
 		out.Mem[nm.Ref] = &nm
 		out.MemList = append(out.MemList, &nm)
 	}

@@ -20,6 +20,7 @@ import (
 
 	"perfclone/internal/cache"
 	"perfclone/internal/dyntrace"
+	"perfclone/internal/fidelity"
 	"perfclone/internal/funcsim"
 	"perfclone/internal/power"
 	"perfclone/internal/profile"
@@ -65,6 +66,19 @@ type Options struct {
 	// Log receives degradation warnings — checkpoint rows that could not
 	// be reused or persisted on a non-strict store (default os.Stderr).
 	Log io.Writer
+	// Fidelity gates every figure on clone fidelity: Prepare runs each
+	// generated clone through the closed-loop fidelity check (re-profile,
+	// compare, bounded deterministic repair). A clone that still fails
+	// degrades to the ungated first-attempt clone with a DEGRADED warning
+	// on Log — the run completes and the figures stay comparable — unless
+	// StrictFidelity aborts instead.
+	Fidelity bool
+	// StrictFidelity promotes a fidelity failure to a hard error carrying
+	// the full per-attribute report. Implies Fidelity.
+	StrictFidelity bool
+	// FidelityTolerance uniformly scales the default per-attribute
+	// tolerances (0 = 1.0; >1 loosens, <1 tightens).
+	FidelityTolerance float64
 }
 
 // Event is one progress notification: a finished grid cell, or — with
@@ -201,7 +215,7 @@ func PrepareContext(ctx context.Context, opts Options) ([]*Pair, error) {
 				}
 			}
 		}
-		clone, err := synth.Generate(prof, synth.Config{})
+		clone, err := generateClone(prof, opts)
 		if err != nil {
 			return fmt.Errorf("clone %s: %w", name, err)
 		}
@@ -242,6 +256,35 @@ func PrepareContext(ctx context.Context, opts Options) ([]*Pair, error) {
 		return nil
 	})
 	return pairs, err
+}
+
+// generateClone synthesizes one workload's clone, applying the fidelity
+// gate when Options asks for it. Mirroring the store's strict/degraded
+// convention: a clone that fails the gate aborts a StrictFidelity run
+// with the full report, and otherwise degrades — with a greppable
+// DEGRADED warning — to the deterministic ungated clone, so one
+// hard-to-fit workload cannot take down a 23-workload figure run.
+func generateClone(prof *profile.Profile, opts Options) (*synth.Clone, error) {
+	if !opts.Fidelity && !opts.StrictFidelity {
+		return synth.Generate(prof, synth.Config{})
+	}
+	fo := fidelity.Options{}
+	if opts.FidelityTolerance > 0 {
+		fo.Tol = fidelity.DefaultTolerances().Scale(opts.FidelityTolerance)
+	}
+	clone, rep, err := fidelity.Generate(prof, synth.Config{}, fo)
+	if err == nil {
+		if rep.Attempt > 1 {
+			fmt.Fprintf(opts.Log, "experiments: fidelity repaired %s on attempt %d (seed %d)\n",
+				prof.Name, rep.Attempt, rep.Seed)
+		}
+		return clone, nil
+	}
+	if opts.StrictFidelity {
+		return nil, err
+	}
+	fmt.Fprintf(opts.Log, "experiments: DEGRADED: %v\nexperiments: using the unvalidated clone of %s\n", err, prof.Name)
+	return synth.Generate(prof, synth.Config{})
 }
 
 // forEach runs fn over [0,n), optionally on a parallel worker pool sized

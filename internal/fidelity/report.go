@@ -1,0 +1,93 @@
+package fidelity
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Attribute is one checked microarchitecture-independent attribute:
+// observed (clone) vs expected (target), the divergence, and the verdict.
+// For distribution attributes Observed/Delta hold the distance and
+// Expected is 0; for sfg-corr Observed is the correlation and Delta is
+// 1−R.
+type Attribute struct {
+	Name      string  `json:"name"`
+	Observed  float64 `json:"observed"`
+	Expected  float64 `json:"expected"`
+	Delta     float64 `json:"delta"`
+	Tolerance float64 `json:"tolerance"`
+	Pass      bool    `json:"pass"`
+	// Note explains a skipped check or annotates a degenerate failure.
+	Note string `json:"note,omitempty"`
+}
+
+// skip marks the attribute as vacuously passing, with the reason.
+func (a *Attribute) skip(why string) {
+	a.Pass = true
+	a.Delta = 0
+	a.Note = why
+}
+
+// Report is the structured verdict of one fidelity check, JSON-
+// serializable for the clonegen -report output.
+type Report struct {
+	Workload string `json:"workload"`
+	// Seed generated the reported clone; Attempt says which try of the
+	// repair loop it was (1 = the original generation).
+	Seed    uint64 `json:"seed"`
+	Attempt int    `json:"attempt"`
+	Pass    bool   `json:"pass"`
+	// FailedSeeds lists the seeds of earlier attempts the repair loop
+	// rejected.
+	FailedSeeds []uint64    `json:"failedSeeds,omitempty"`
+	Attributes  []Attribute `json:"attributes"`
+}
+
+func (r *Report) add(a Attribute) { r.Attributes = append(r.Attributes, a) }
+
+// Failures returns the names of the failing attributes.
+func (r *Report) Failures() []string {
+	var out []string
+	for _, a := range r.Attributes {
+		if !a.Pass {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// String renders the greppable report: one "fidelity: PASS|FAIL" line per
+// attribute plus a summary line, e.g.
+//
+//	fidelity: FAIL dep-jsd workload=crc32 observed=0.2841 expected=0 |Δ|=0.2841 tol=0.1
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, a := range r.Attributes {
+		verdict := "PASS"
+		if !a.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "fidelity: %s %s workload=%s observed=%.4g expected=%.4g |Δ|=%.4g tol=%.4g",
+			verdict, a.Name, r.Workload, a.Observed, a.Expected, a.Delta, a.Tolerance)
+		if a.Note != "" {
+			fmt.Fprintf(&b, " (%s)", a.Note)
+		}
+		b.WriteByte('\n')
+	}
+	if r.Pass {
+		fmt.Fprintf(&b, "fidelity: PASS %s (attempt %d, seed %d)\n", r.Workload, r.Attempt, r.Seed)
+	} else {
+		fmt.Fprintf(&b, "fidelity: FAIL %s (attempt %d, seed %d): %s\n",
+			r.Workload, r.Attempt, r.Seed, strings.Join(r.Failures(), ", "))
+	}
+	return b.String()
+}
+
+// log writes the report to w (used by Options.Log).
+func (r *Report) log(w io.Writer) {
+	if w == io.Discard {
+		return
+	}
+	io.WriteString(w, r.String())
+}

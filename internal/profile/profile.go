@@ -470,6 +470,21 @@ func (pr *Profile) finalize() {
 			ms.MeanStreamLen = 1
 		}
 	}
+	// A profiling budget that expires on a block's final instruction can
+	// record an edge into a block that never executed (no SFG node).
+	// Prune such truncation edges so every successor resolves — the
+	// invariant Validate enforces at the load boundary.
+	blocks := make(map[int]bool, len(pr.Nodes))
+	for k := range pr.Nodes {
+		blocks[k.Block] = true
+	}
+	for _, n := range pr.Nodes {
+		for s := range n.Succ {
+			if !blocks[s] {
+				delete(n.Succ, s)
+			}
+		}
+	}
 	pr.NodeList = make([]*Node, 0, len(pr.Nodes))
 	for _, n := range pr.Nodes {
 		pr.NodeList = append(pr.NodeList, n)

@@ -69,34 +69,8 @@ func Load(r io.Reader) (*Profile, error) {
 	for _, b := range p.BranchList {
 		p.Branches[b.Ref] = b
 	}
-	if err := p.check(); err != nil {
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	return &p, nil
-}
-
-// check validates structural invariants of a deserialized profile.
-func (p *Profile) check() error {
-	if p.Name == "" {
-		return fmt.Errorf("profile: missing name")
-	}
-	if len(p.NodeList) == 0 {
-		return fmt.Errorf("profile %q: no SFG nodes", p.Name)
-	}
-	for _, n := range p.NodeList {
-		if n.Size <= 0 {
-			return fmt.Errorf("profile %q: node %v has size %d", p.Name, n.Key, n.Size)
-		}
-	}
-	for _, m := range p.MemList {
-		if m.MaxAddr < m.MinAddr {
-			return fmt.Errorf("profile %q: mem op %v has inverted interval", p.Name, m.Ref)
-		}
-	}
-	for _, b := range p.BranchList {
-		if b.Taken > b.Count {
-			return fmt.Errorf("profile %q: branch %v taken %d > count %d", p.Name, b.Ref, b.Taken, b.Count)
-		}
-	}
-	return nil
 }

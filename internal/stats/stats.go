@@ -132,6 +132,93 @@ func AbsRelError(predicted, actual float64) (float64, error) {
 	return math.Abs(predicted-actual) / math.Abs(actual), nil
 }
 
+// normalize validates a histogram (finite, non-negative, positive mass)
+// and returns it scaled to sum to 1.
+func normalize(h []float64, label string) ([]float64, error) {
+	var sum float64
+	for i, v := range h {
+		if !isFinite(v) || v < 0 {
+			return nil, fmt.Errorf("stats: %s histogram has invalid value %v at bucket %d", label, v, i)
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("stats: %s histogram has zero total mass", label)
+	}
+	out := make([]float64, len(h))
+	for i, v := range h {
+		out[i] = v / sum
+	}
+	return out, nil
+}
+
+// JensenShannon is the Jensen–Shannon divergence between two bucketed
+// histograms (raw counts or fractions; both are normalized internally),
+// using base-2 logarithms so the result lies in [0, 1]. Unlike KL
+// divergence it is symmetric and defined when one histogram has an empty
+// bucket the other populates — exactly the situation a buggy clone
+// generator produces.
+func JensenShannon(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: histogram length mismatch %d vs %d", len(p), len(q))
+	}
+	if len(p) == 0 {
+		return 0, fmt.Errorf("stats: empty histograms")
+	}
+	pn, err := normalize(p, "first")
+	if err != nil {
+		return 0, err
+	}
+	qn, err := normalize(q, "second")
+	if err != nil {
+		return 0, err
+	}
+	var d float64
+	for i := range pn {
+		m := (pn[i] + qn[i]) / 2
+		if pn[i] > 0 {
+			d += pn[i] * math.Log2(pn[i]/m) / 2
+		}
+		if qn[i] > 0 {
+			d += qn[i] * math.Log2(qn[i]/m) / 2
+		}
+	}
+	// Clamp the tiny negative residue floating-point cancellation can
+	// leave behind for near-identical histograms.
+	if d < 0 {
+		d = 0
+	}
+	return d, nil
+}
+
+// ChiSquareDistance is the symmetric chi-square histogram distance
+// ½·Σ (p_i − q_i)² / (p_i + q_i) over normalized histograms, in [0, 1].
+// Buckets empty in both histograms contribute nothing.
+func ChiSquareDistance(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: histogram length mismatch %d vs %d", len(p), len(q))
+	}
+	if len(p) == 0 {
+		return 0, fmt.Errorf("stats: empty histograms")
+	}
+	pn, err := normalize(p, "first")
+	if err != nil {
+		return 0, err
+	}
+	qn, err := normalize(q, "second")
+	if err != nil {
+		return 0, err
+	}
+	var d float64
+	for i := range pn {
+		if s := pn[i] + qn[i]; s > 0 {
+			diff := pn[i] - qn[i]
+			d += diff * diff / s
+		}
+	}
+	return d / 2, nil
+}
+
 // Mean is the arithmetic mean.
 func Mean(vals []float64) float64 {
 	if len(vals) == 0 {

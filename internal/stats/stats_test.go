@@ -262,3 +262,111 @@ func TestAbsRelErrorRejectsNonFinite(t *testing.T) {
 		t.Error("NaN actual accepted")
 	}
 }
+
+// --- distribution-distance helpers (fidelity comparisons) ---
+
+func TestJensenShannonIdentical(t *testing.T) {
+	p := []float64{4, 2, 1, 1}
+	d, err := JensenShannon(p, p)
+	if err != nil || !almost(d, 0) {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+}
+
+func TestJensenShannonDisjoint(t *testing.T) {
+	// Disjoint support is the maximum: exactly 1 bit.
+	d, err := JensenShannon([]float64{1, 0}, []float64{0, 1})
+	if err != nil || !almost(d, 1) {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+}
+
+func TestJensenShannonKnownValue(t *testing.T) {
+	// p=[3,1]→[0.75,0.25], q=[1,1]→[0.5,0.5], m=[0.625,0.375]:
+	// ½[0.75·log2(0.75/0.625)+0.25·log2(0.25/0.375)]
+	// + ½[0.5·log2(0.5/0.625)+0.5·log2(0.5/0.375)] = 0.0487949406…
+	d, err := JensenShannon([]float64{3, 1}, []float64{1, 1})
+	if err != nil || math.Abs(d-0.0487949406) > 1e-9 {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+	// Symmetric, and invariant under scaling (raw counts vs fractions).
+	d2, err := JensenShannon([]float64{2, 2}, []float64{0.75, 0.25})
+	if err != nil || !almost(d, d2) {
+		t.Fatalf("symmetry/scaling: %v vs %v (err=%v)", d, d2, err)
+	}
+}
+
+func TestJensenShannonErrors(t *testing.T) {
+	if _, err := JensenShannon([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := JensenShannon(nil, nil); err == nil {
+		t.Error("empty histograms accepted")
+	}
+	if _, err := JensenShannon([]float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Error("zero-mass histogram accepted")
+	}
+	if _, err := JensenShannon([]float64{-1, 2}, []float64{1, 1}); err == nil {
+		t.Error("negative bucket accepted")
+	}
+	if _, err := JensenShannon([]float64{math.NaN(), 1}, []float64{1, 1}); err == nil {
+		t.Error("NaN bucket accepted")
+	}
+	if _, err := JensenShannon([]float64{math.Inf(1), 1}, []float64{1, 1}); err == nil {
+		t.Error("Inf bucket accepted")
+	}
+}
+
+func TestChiSquareDistanceKnownValues(t *testing.T) {
+	// Identical → 0; disjoint → 1.
+	d, err := ChiSquareDistance([]float64{2, 3}, []float64{4, 6})
+	if err != nil || !almost(d, 0) {
+		t.Fatalf("identical: d=%v err=%v", d, err)
+	}
+	d, err = ChiSquareDistance([]float64{1, 0}, []float64{0, 1})
+	if err != nil || !almost(d, 1) {
+		t.Fatalf("disjoint: d=%v err=%v", d, err)
+	}
+	// p=[3,1]→[0.75,0.25], q=[1,1]→[0.5,0.5]:
+	// ½[(0.25)²/1.25 + (−0.25)²/0.75] = ½[0.05+0.0833…] = 0.0666…
+	d, err = ChiSquareDistance([]float64{3, 1}, []float64{1, 1})
+	if err != nil || math.Abs(d-1.0/15) > 1e-9 {
+		t.Fatalf("known value: d=%v err=%v", d, err)
+	}
+}
+
+func TestChiSquareDistanceErrors(t *testing.T) {
+	if _, err := ChiSquareDistance([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ChiSquareDistance([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero-mass histogram accepted")
+	}
+	if _, err := ChiSquareDistance([]float64{1, -2}, []float64{1, 1}); err == nil {
+		t.Error("negative bucket accepted")
+	}
+}
+
+func TestDistancesBoundedRandom(t *testing.T) {
+	fn := func(a, b uint64) bool {
+		s := a | 1
+		next := func() uint64 { s ^= s >> 12; s ^= s << 25; s ^= s >> 27; return s * 0x2545f4914f6cdd1d }
+		p := make([]float64, 8)
+		q := make([]float64, 8)
+		for i := range p {
+			p[i] = float64(next() % 1000)
+			q[i] = float64(next() % 1000)
+		}
+		p[0]++ // guarantee mass
+		q[0]++
+		js, err := JensenShannon(p, q)
+		if err != nil || js < 0 || js > 1 {
+			return false
+		}
+		cs, err := ChiSquareDistance(p, q)
+		return err == nil && cs >= 0 && cs <= 1
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,6 +1,8 @@
 package synth
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -9,6 +11,7 @@ import (
 	"perfclone/internal/isa"
 	"perfclone/internal/profile"
 	"perfclone/internal/prog"
+	"perfclone/internal/workloads"
 )
 
 // randomProfile fabricates a structurally valid profile from a PRNG seed:
@@ -35,15 +38,22 @@ func randomProfile(seed uint64) *profile.Profile {
 			Key:  profile.NodeKey{Prev: -1, Block: b},
 			Size: 1 + int(next()%20),
 			Term: profile.TermKind(next() % 3), // fall, branch, jump
-			Succ: map[int]uint64{int(next()) % nBlocks: 1 + next()%100},
+			Succ: map[int]uint64{int(next() % uint64(nBlocks)): 1 + next()%100},
 		}
 		n.Count = 1 + next()%10000
 		for c := 0; c < isa.NumClasses; c++ {
 			n.ClassCounts[c] = next() % 1000
 		}
+		n.ClassCounts[isa.ClassIntALU]++ // an executed node cannot have an empty histogram
 		n.ClassCounts[isa.ClassHalt] = 0
 		for i := 0; i < profile.NumDepBuckets; i++ {
 			n.DepDist[i] = next() % 100
+		}
+		for c := 0; c < isa.NumClasses; c++ {
+			p.GlobalMix[c] += n.ClassCounts[c]
+		}
+		for i := 0; i < profile.NumDepBuckets; i++ {
+			p.GlobalDepDist[i] += n.DepDist[i]
 		}
 		p.Nodes[n.Key] = n
 		p.NodeList = append(p.NodeList, n)
@@ -72,6 +82,7 @@ func randomProfile(seed uint64) *profile.Profile {
 				Op:             ops[next()%uint64(len(ops))],
 				Count:          1 + next()%50000,
 				DominantStride: int64(next()%512) - 256,
+				FirstAddr:      lo,
 				MinAddr:        lo,
 				MaxAddr:        lo + span,
 				MeanStreamLen:  1 + float64(next()%1000),
@@ -124,4 +135,57 @@ func TestGenerateFromRandomProfiles(t *testing.T) {
 	if err := quick.Check(fn, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzGenerate feeds the generator serialized profiles under byte-level
+// mutation. The contract at this boundary: any input either fails
+// profile.Load, fails Generate with an error, or yields a valid program
+// that runs to halt — never a panic. Seeds cover both the checksummed
+// envelope and the legacy bare-JSON form (the envelope's CRC rejects most
+// mutations, so the bare form is where the fuzzer actually explores
+// semantic corruption).
+func FuzzGenerate(f *testing.F) {
+	for _, name := range []string{"crc32", "fft", "qsort"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		p, err := profile.Collect(w.Build(), profile.Options{MaxInsts: 50_000})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var env bytes.Buffer
+		if err := p.Save(&env); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(env.Bytes())
+		bare, err := json.Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bare)
+	}
+	f.Add([]byte(`{"name":"x","nodeList":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := profile.Load(bytes.NewReader(data))
+		if err != nil {
+			t.Skip()
+		}
+		clone, err := Generate(p, Config{Iterations: 5})
+		if err != nil {
+			// A loadable profile the generator rejects with an error is
+			// fine; only a panic (caught by the fuzz driver) is a bug.
+			return
+		}
+		if err := clone.Program.Validate(); err != nil {
+			t.Fatalf("generated invalid program: %v", err)
+		}
+		res, err := funcsim.RunProgram(clone.Program, funcsim.Limits{MaxInsts: 2_000_000}, nil)
+		if err != nil {
+			t.Fatalf("clone failed to run: %v", err)
+		}
+		if !res.Halted {
+			t.Fatal("clone did not halt within the instruction limit")
+		}
+	})
 }

@@ -38,6 +38,18 @@ type Config struct {
 	// MaxStreamPools caps the number of distinct stream pointer
 	// registers. Default 12 (bounded by the architected register file).
 	MaxStreamPools int
+	// SelfCheck, when non-nil, runs against the finished clone before
+	// Generate returns; a non-nil error fails generation. The fidelity
+	// package supplies the standard checker (fidelity.SelfCheck), which
+	// re-profiles the clone and compares its microarchitecture-
+	// independent attributes against p — the hook lives here so synth
+	// does not import its own validator.
+	SelfCheck func(p *profile.Profile, c *Clone) error
+	// TestBreakDepDist disables dependency-distance sampling (every
+	// sampled distance collapses to 1) — a deliberately broken generator
+	// used by tests to prove the fidelity gate catches regressions.
+	// Never set outside tests.
+	TestBreakDepDist bool
 }
 
 func (c Config) withDefaults(p *profile.Profile) Config {
@@ -89,6 +101,18 @@ type Clone struct {
 	Iterations int
 	// SourceProfile names the profile the clone was generated from.
 	SourceProfile string
+	// NodeInstances maps each source SFG node to the number of chain-
+	// block instances realizing it. Every chain block executes exactly
+	// once per outer iteration, so these counts are the clone's realized
+	// SFG block-frequency distribution — what the fidelity gate compares
+	// against the profiled node counts.
+	NodeInstances map[profile.NodeKey]int
+	// RefStrides maps each profiled static memory instruction to the
+	// stride of the stream pool realizing it. When pools overflow the
+	// pointer registers and merge, a ref can land in a pool with a
+	// different stride; the fidelity gate measures how much dynamic
+	// access weight kept its exact dominant stride.
+	RefStrides map[profile.StaticRef]int64
 }
 
 // StreamPool is one stride-sharing group of static memory instructions
@@ -169,14 +193,34 @@ var dirPatterns = [numDirRegs]dirPattern{
 // Generate builds a synthetic clone from a profile, following the
 // 12-step algorithm of Section 3.2.
 func Generate(p *profile.Profile, cfg Config) (*Clone, error) {
-	cfg = cfg.withDefaults(p)
-	if len(p.NodeList) == 0 {
-		return nil, fmt.Errorf("synth: profile %q has no SFG nodes", p.Name)
+	// Sanitize at the boundary: a malformed profile (hand-edited JSON, a
+	// corrupt artifact, a fuzzer input) is an error here, never a panic
+	// inside the generator.
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
 	}
+	cfg = cfg.withDefaults(p)
 	g := &generator{prof: p, cfg: cfg, rng: rng{s: cfg.Seed}}
 	g.buildPools()
 	chain := g.buildChain()
-	return g.emit(chain)
+	clone, err := g.emit(chain)
+	if err != nil {
+		return nil, err
+	}
+	clone.NodeInstances = make(map[profile.NodeKey]int, len(p.NodeList))
+	for i := range chain {
+		clone.NodeInstances[chain[i].node.Key]++
+	}
+	clone.RefStrides = make(map[profile.StaticRef]int64, len(g.memPool))
+	for ref, pi := range g.memPool {
+		clone.RefStrides[ref] = g.pools[pi].stride
+	}
+	if cfg.SelfCheck != nil {
+		if err := cfg.SelfCheck(p, clone); err != nil {
+			return nil, fmt.Errorf("synth: self-check: %w", err)
+		}
+	}
+	return clone, nil
 }
 
 // generator holds synthesis state.
@@ -667,6 +711,9 @@ func (g *generator) apportionCompute(node *profile.Node, n int) []isa.Class {
 // node's distance distribution (step 3), clamped to what the register
 // pool can realize (the paper's register assignment has the same bound).
 func (g *generator) sampleDepDist(n *profile.Node) int {
+	if g.cfg.TestBreakDepDist {
+		return 1
+	}
 	var tot uint64
 	for _, c := range n.DepDist {
 		tot += c
