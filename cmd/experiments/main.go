@@ -6,6 +6,7 @@
 //	            [-workloads a,b,c] [-parallel] [-insts N]
 //	            [-store DIR] [-resume] [-strict-store] [-doctor] [-progress]
 //	            [-fidelity] [-strict-fidelity] [-fidelity-tolerance F]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -fidelity, every generated clone passes through the closed-loop
 // fidelity gate (re-profile, compare against the target profile, bounded
@@ -38,6 +39,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -60,12 +63,55 @@ func main() {
 	fidelity := flag.Bool("fidelity", false, "gate every clone on the closed-loop fidelity check (failures degrade with a warning)")
 	strictFidelity := flag.Bool("strict-fidelity", false, "abort when a clone fails the fidelity gate instead of degrading (implies -fidelity)")
 	fidelityTol := flag.Float64("fidelity-tolerance", 0, "scale the default fidelity tolerances uniformly (>1 loosens, <1 tightens)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	if *fidelityTol < 0 {
 		fmt.Fprintln(os.Stderr, "experiments: -fidelity-tolerance must be positive")
 		os.Exit(2)
 	}
+
+	// Profiling brackets the whole run (capture, synthesis, and the
+	// replay-driven grids), so a profile shows where an experiments
+	// invocation actually spends its time.
+	finishProfiles := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		stopCPU := func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		prev := finishProfiles
+		finishProfiles = func() { stopCPU(); prev() }
+	}
+	if *memProfile != "" {
+		prev := finishProfiles
+		finishProfiles = func() {
+			prev()
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}
+	}
+	// os.Exit skips defers, so every exit path below calls finishProfiles
+	// explicitly; an interrupted or failed run still gets its profile.
+	defer finishProfiles()
 
 	if *resume && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "experiments: -resume requires -store")
@@ -138,9 +184,11 @@ func main() {
 				fmt.Fprint(os.Stderr, " — progress was not persisted (no -store)")
 			}
 			fmt.Fprintln(os.Stderr)
+			finishProfiles()
 			os.Exit(130)
 		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		finishProfiles()
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,177 @@
+package dyntrace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Cursor streams a trace's static-id and address columns in order,
+// without materializing them. On a captured or v1-loaded trace the Next
+// methods return subslices of the in-memory columns (zero copy, zero
+// decode); on a v2-loaded trace they varint-decode directly out of the
+// encoded (possibly mmap'd) bytes into the caller's buffer. Either way
+// the caller observes the identical sequence.
+//
+// A Cursor is single-goroutine; create one per replay. Both columns
+// advance independently: the replayer pulls one chunk of static ids,
+// counts the memory references among them, and pulls exactly that many
+// addresses.
+type Cursor struct {
+	t   *Trace
+	enc bool // decode mode: stream from the encoded bytes
+
+	// Materialized-mode state.
+	sid     []uint32
+	memAddr []uint64
+	i       uint64 // instructions consumed
+	mi      uint64 // references consumed
+
+	// Decode-mode state.
+	sidEnc []byte
+	memEnc []byte
+	prev   uint64 // delta accumulator for the address stream
+}
+
+// NewCursor returns a cursor positioned at the start of both columns.
+func (t *Trace) NewCursor() *Cursor {
+	c := &Cursor{t: t}
+	if t.sidEnc != nil || t.memEnc != nil {
+		// Always stream from the encoded bytes (immutable after load),
+		// even if another goroutine materializes concurrently — the
+		// decoded sequence is identical and this keeps NewCursor free of
+		// synchronization.
+		c.enc = true
+		c.sidEnc, c.memEnc = t.sidEnc, t.memEnc
+		return c
+	}
+	c.sid, c.memAddr = t.sid, t.memAddr
+	return c
+}
+
+// NextSIDs returns the next len(buf) static ids. In materialized mode
+// the result aliases the trace's column and buf is untouched; in decode
+// mode the ids are decoded into buf. It errors — rather than panics —
+// when the column holds fewer entries than requested, so a malformed
+// hand-built or truncated trace surfaces as a validation failure in the
+// replayer.
+func (c *Cursor) NextSIDs(buf []uint32) ([]uint32, error) {
+	n := uint64(len(buf))
+	if c.enc {
+		off := uint64(0)
+		enc := c.sidEnc
+		for k := range buf {
+			v, w := binary.Uvarint(enc[off:])
+			if w <= 0 || v > maxColumn {
+				return nil, fmt.Errorf("dyntrace: %s: static-id stream exhausted or malformed at instruction %d", c.t.prog.Name, c.i+uint64(k))
+			}
+			buf[k] = uint32(v)
+			off += uint64(w)
+		}
+		c.sidEnc = enc[off:]
+		c.i += n
+		return buf, nil
+	}
+	if c.i+n > uint64(len(c.sid)) {
+		return nil, fmt.Errorf("dyntrace: %s: static-id column has %d entries, need %d", c.t.prog.Name, len(c.sid), c.i+n)
+	}
+	out := c.sid[c.i : c.i+n]
+	c.i += n
+	return out, nil
+}
+
+// NextAddrs returns the next len(buf) effective addresses, mirroring
+// NextSIDs' aliasing and error contract. The v2 address stream is
+// zigzag-delta encoded with wrapping arithmetic, so any 64-bit address
+// sequence round-trips exactly.
+func (c *Cursor) NextAddrs(buf []uint64) ([]uint64, error) {
+	n := uint64(len(buf))
+	if c.enc {
+		off := uint64(0)
+		enc := c.memEnc
+		prev := c.prev
+		for k := range buf {
+			d, w := binary.Varint(enc[off:])
+			if w <= 0 {
+				return nil, fmt.Errorf("dyntrace: %s: address stream exhausted or malformed at reference %d", c.t.prog.Name, c.mi+uint64(k))
+			}
+			prev += uint64(d)
+			buf[k] = prev
+			off += uint64(w)
+		}
+		c.memEnc = enc[off:]
+		c.prev = prev
+		c.mi += n
+		return buf, nil
+	}
+	if c.mi+n > uint64(len(c.memAddr)) {
+		return nil, fmt.Errorf("dyntrace: %s: address column has %d references, need %d", c.t.prog.Name, len(c.memAddr), c.mi+n)
+	}
+	out := c.memAddr[c.mi : c.mi+n]
+	c.mi += n
+	return out, nil
+}
+
+// remaining reports the unconsumed encoded bytes of both streams (zero
+// for materialized cursors); load-time validation uses it to insist the
+// streams hold exactly the entries the header claims.
+func (c *Cursor) remaining() (sidBytes, memBytes int) {
+	return len(c.sidEnc), len(c.memEnc)
+}
+
+// encodeSIDs appends the uvarint encoding of the static-id column.
+func encodeSIDs(dst []byte, sid []uint32) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range sid {
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(v))]...)
+	}
+	return dst
+}
+
+// encodeAddrs appends the zigzag-delta encoding of the address column.
+// Deltas use wrapping subtraction, so ascending, descending, and
+// wildly alternating address sequences all encode without overflow and
+// decode exactly.
+func encodeAddrs(dst []byte, memAddr []uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	prev := uint64(0)
+	for _, a := range memAddr {
+		d := int64(a - prev) // two's-complement wrap: always exact
+		prev = a
+		dst = append(dst, tmp[:binary.PutVarint(tmp[:], d)]...)
+	}
+	return dst
+}
+
+// decodeColumns fully decodes both encoded columns (whole-column
+// materialization for v2-loaded traces).
+func decodeColumns(sidEnc, memEnc []byte, insts, numMem uint64) ([]uint32, []uint64, error) {
+	sid := make([]uint32, insts)
+	off := 0
+	for k := range sid {
+		v, w := binary.Uvarint(sidEnc[off:])
+		if w <= 0 || v > maxColumn {
+			return nil, nil, fmt.Errorf("static-id stream malformed at instruction %d", k)
+		}
+		sid[k] = uint32(v)
+		off += w
+	}
+	if off != len(sidEnc) {
+		return nil, nil, fmt.Errorf("static-id stream has %d trailing bytes", len(sidEnc)-off)
+	}
+	memAddr := make([]uint64, numMem)
+	off = 0
+	prev := uint64(0)
+	for k := range memAddr {
+		d, w := binary.Varint(memEnc[off:])
+		if w <= 0 {
+			return nil, nil, fmt.Errorf("address stream malformed at reference %d", k)
+		}
+		prev += uint64(d)
+		memAddr[k] = prev
+		off += w
+	}
+	if off != len(memEnc) {
+		return nil, nil, fmt.Errorf("address stream has %d trailing bytes", len(memEnc)-off)
+	}
+	return sid, memAddr, nil
+}

@@ -26,6 +26,8 @@ package dyntrace
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"perfclone/internal/funcsim"
 	"perfclone/internal/isa"
@@ -61,6 +63,12 @@ type Static struct {
 // internal slices for zero-copy replay; callers must treat them as
 // read-only. A Trace is immutable after Capture and safe for concurrent
 // replay from many goroutines.
+//
+// A trace loaded from a PCDT v2 artifact keeps its sid and address
+// columns varint-encoded (possibly aliasing an mmap'd file — see
+// LoadBytes): NewCursor streams them without materializing, and the
+// whole-column accessors (SIDs, MemAddrs, Mem) decode them once, on
+// first use, under a sync.Once.
 type Trace struct {
 	prog     *prog.Program
 	static   []Static
@@ -69,7 +77,24 @@ type Trace struct {
 	memAddr  []uint64 // packed effective addresses, dynamic order
 	memStore []uint64 // bitset over memAddr entries
 	insts    uint64
+	numMem   uint64 // memory references (== len(memAddr) once materialized)
 	halted   bool
+
+	// Encoded columns from a PCDT v2 load; nil for captured or v1
+	// traces. When non-nil they are authoritative and sid/memAddr start
+	// nil until materialize decodes them.
+	sidEnc  []byte
+	memEnc  []byte
+	matOnce sync.Once
+
+	// decodeCache memoizes one consumer-defined decode product (see
+	// DecodeCache); stored as any so dyntrace stays free of consumer
+	// types.
+	decodeCache atomic.Value
+
+	// release unmaps or otherwise frees the backing storage of a
+	// zero-copy load (see LoadBytes and Close).
+	release func() error
 }
 
 // Capture executes p functionally (up to maxInsts dynamic instructions;
@@ -112,7 +137,22 @@ func Capture(p *prog.Program, maxInsts uint64) (*Trace, error) {
 	}
 	t.insts = res.Insts
 	t.halted = res.Halted
+	t.numMem = uint64(len(t.memAddr))
 	return t, nil
+}
+
+// FromColumns assembles a Trace directly from its dynamic columns,
+// without functional execution and without validation. It exists for
+// tests and trace-processing tools; replay consumers validate the
+// columns at use time (see uarch.Replay), so a malformed hand-built
+// trace surfaces as an error there instead of a panic.
+func FromColumns(p *prog.Program, sid []uint32, taken, memAddr, memStore []uint64, insts uint64, halted bool) *Trace {
+	static, _ := buildStatic(p)
+	return &Trace{
+		prog: p, static: static,
+		sid: sid, taken: taken, memAddr: memAddr, memStore: memStore,
+		insts: insts, numMem: uint64(len(memAddr)), halted: halted,
+	}
 }
 
 // buildStatic flattens the program's blocks into the static table and
@@ -174,13 +214,61 @@ func (t *Trace) Insts() uint64 { return t.insts }
 func (t *Trace) Halted() bool { return t.halted }
 
 // NumMem is the number of memory references recorded.
-func (t *Trace) NumMem() uint64 { return uint64(len(t.memAddr)) }
+func (t *Trace) NumMem() uint64 { return t.numMem }
 
 // Statics returns the static-instruction table (read-only).
 func (t *Trace) Statics() []Static { return t.static }
 
+// materialize decodes the varint-encoded columns of a v2-loaded trace
+// into the whole-column slices, once. Captured and v1-loaded traces
+// materialize trivially. The streams were fully validated at load time
+// (Trace.check), so a decode failure here means the backing storage
+// mutated after load — a contract violation worth a loud stop.
+func (t *Trace) materialize() {
+	if t.sidEnc == nil && t.memEnc == nil {
+		return
+	}
+	t.matOnce.Do(func() {
+		sid, memAddr, err := decodeColumns(t.sidEnc, t.memEnc, t.insts, t.numMem)
+		if err != nil {
+			panic(fmt.Sprintf("dyntrace: %s: encoded columns mutated after load: %v", t.prog.Name, err))
+		}
+		t.sid, t.memAddr = sid, memAddr
+	})
+}
+
 // SIDs returns the per-instruction static-id column (read-only).
-func (t *Trace) SIDs() []uint32 { return t.sid }
+func (t *Trace) SIDs() []uint32 {
+	t.materialize()
+	return t.sid
+}
+
+// DecodeCache memoizes one consumer-defined decode product on the
+// trace, so repeated sweeps over the same trace skip its construction
+// (uarch stores its per-static TraceInst template table here). build
+// may run more than once under a race; every result must be equivalent,
+// and one of them wins.
+func (t *Trace) DecodeCache(build func() any) any {
+	if v := t.decodeCache.Load(); v != nil {
+		return v
+	}
+	v := build()
+	t.decodeCache.Store(v)
+	return v
+}
+
+// Close releases the backing storage of a zero-copy load (the mmap
+// behind LoadBytes). The Trace must not be used afterwards. Closing a
+// trace that owns no mapping — captured, v1-loaded, or already closed —
+// is a no-op.
+func (t *Trace) Close() error {
+	rel := t.release
+	t.release = nil
+	if rel == nil {
+		return nil
+	}
+	return rel()
+}
 
 // TakenBits returns the per-instruction taken bitset (read-only); bit i
 // is dynamic instruction i's branch direction.
@@ -193,7 +281,10 @@ func (t *Trace) Taken(i uint64) bool {
 
 // MemAddrs returns the packed effective-address stream (read-only): one
 // entry per memory reference, in dynamic order.
-func (t *Trace) MemAddrs() []uint64 { return t.memAddr }
+func (t *Trace) MemAddrs() []uint64 {
+	t.materialize()
+	return t.memAddr
+}
 
 // MemStores returns the store bitset over MemAddrs (read-only); bit i is
 // set when reference i is a store.
@@ -204,6 +295,7 @@ func (t *Trace) MemStores() []uint64 { return t.memStore }
 // and the store bitset indexed in parallel with it. The slices alias the
 // trace; treat them as read-only.
 func (t *Trace) Mem(maxInsts uint64) (addrs []uint64, storeBits []uint64) {
+	t.materialize()
 	if maxInsts == 0 || maxInsts >= t.insts {
 		return t.memAddr, t.memStore
 	}
@@ -217,10 +309,15 @@ func (t *Trace) Mem(maxInsts uint64) (addrs []uint64, storeBits []uint64) {
 }
 
 // Bytes estimates the trace's in-memory footprint, for capacity planning
-// (EXPERIMENTS.md documents the per-million-instruction cost).
+// (EXPERIMENTS.md documents the per-million-instruction cost). For a
+// v2-loaded trace it reports the encoded footprint — the whole-column
+// decode that SIDs/MemAddrs/Mem trigger adds the materialized columns on
+// top of it.
 func (t *Trace) Bytes() uint64 {
 	const staticSize = 40 // unsafe.Sizeof(Static{}) with padding
-	return 4*uint64(len(t.sid)) +
-		8*uint64(len(t.taken)+len(t.memAddr)+len(t.memStore)) +
-		staticSize*uint64(len(t.static))
+	n := 8*uint64(len(t.taken)+len(t.memStore)) + staticSize*uint64(len(t.static))
+	if t.sidEnc != nil || t.memEnc != nil {
+		return n + uint64(len(t.sidEnc)+len(t.memEnc))
+	}
+	return n + 4*uint64(len(t.sid)) + 8*uint64(len(t.memAddr))
 }

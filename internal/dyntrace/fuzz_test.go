@@ -10,8 +10,8 @@ import (
 // FuzzTraceLoad throws arbitrary bytes at the PCDT decoder. Neither
 // Verify nor Load may panic or allocate unboundedly, whatever the input;
 // returning an error is the only acceptable failure mode. The seed
-// corpus contains one valid trace plus targeted mutations (truncation,
-// flipped CRC, oversized column counts).
+// corpus contains valid v2 and v1 images plus targeted mutations
+// (truncation, flipped CRC, oversized column counts).
 func FuzzTraceLoad(f *testing.F) {
 	w, err := workloads.ByName("crc32")
 	if err != nil {
@@ -28,8 +28,16 @@ func FuzzTraceLoad(f *testing.F) {
 	}
 	valid := buf.Bytes()
 
+	var v1buf bytes.Buffer
+	if err := tr.saveV1(&v1buf); err != nil {
+		f.Fatal(err)
+	}
+	validV1 := v1buf.Bytes()
+
 	f.Add(valid)
+	f.Add(validV1)
 	f.Add(valid[:len(valid)/2])
+	f.Add(validV1[:len(validV1)/2])
 	f.Add(valid[:9])
 	f.Add([]byte("PCDT"))
 	f.Add([]byte{})

@@ -2,18 +2,23 @@ package dyntrace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"unsafe"
 
 	"perfclone/internal/prog"
 )
 
-// On-disk trace format (all integers little-endian):
+// On-disk trace format (all integers little-endian). Two versions are
+// readable; Save always writes v2.
+//
+// PCDT v1 (legacy, still loadable):
 //
 //	magic   [4]byte "PCDT"
-//	version uint32  (currently 1)
+//	version uint32  (1)
 //	nameLen uint32, name []byte
 //	insts   uint64
 //	halted  uint8
@@ -24,25 +29,122 @@ import (
 //	memStore []uint64
 //	crc32    uint32  (IEEE, over everything after the version field)
 //
-// The static table is NOT serialized: it is a pure function of the traced
-// program, and the store keys trace files by a hash of that program, so
-// Load rebuilds it with buildStatic and then cross-checks the dynamic
-// columns against it (see Trace.check). That keeps the format free of
-// isa enum encodings and makes a program/trace mismatch a load-time error
-// instead of a silent misreplay.
+// PCDT v2 (current): the static-id column is uvarint-encoded and the
+// address column zigzag-delta-uvarint-encoded, which shrinks the
+// dominant columns from 4 B and 8 B per entry to ~1-2 B each. The two
+// bitsets stay raw and the header is padded so they land 8-byte-aligned
+// in the file: a zero-copy loader (LoadBytes, fed by the store's mmap
+// path) can alias them in place and replay straight out of the page
+// cache.
+//
+//	magic   [4]byte "PCDT"
+//	version uint32  (2)
+//	nameLen uint32, name []byte
+//	insts   uint64
+//	halted  uint8
+//	numMem  uint64  (memory references == decoded address count)
+//	nTaken, nMemStore uint64  (bitset words)
+//	sidEncLen, memEncLen uint64  (encoded stream bytes)
+//	pad     []byte  (zeros, to an 8-aligned file offset)
+//	taken    []uint64  (raw)
+//	memStore []uint64  (raw)
+//	sidEnc   []byte   (uvarint per static id)
+//	memEnc   []byte   (zigzag-delta uvarint per address)
+//	crc32    uint32   (IEEE, over everything after the version field)
+//
+// The static table is NOT serialized in either version: it is a pure
+// function of the traced program, and the store keys trace files by a
+// hash of that program, so Load rebuilds it with buildStatic and then
+// cross-checks the dynamic columns against it (see Trace.check). That
+// keeps the format free of isa enum encodings and makes a program/trace
+// mismatch a load-time error instead of a silent misreplay.
 
 const (
-	traceMagic   = "PCDT"
-	traceVersion = 1
+	traceMagic     = "PCDT"
+	traceVersionV1 = 1
+	traceVersionV2 = 2
 )
 
-// Save writes the trace in the versioned binary format.
+// hostLittleEndian gates the zero-copy bitset alias: on a big-endian
+// host the raw little-endian words must be byte-swapped into a copy.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// v2HeaderLen is the byte length of the fixed v2 header fields after
+// the name: insts + halted + numMem + nTaken + nMemStore + sidEncLen +
+// memEncLen.
+const v2HeaderLen = 8 + 1 + 8 + 8 + 8 + 8 + 8
+
+// v2Pad returns the zero-padding length that 8-aligns the taken bitset
+// for a trace name of the given length.
+func v2Pad(nameLen int) int {
+	off := 8 + 4 + nameLen + v2HeaderLen // magic+version, nameLen, name, fixed fields
+	return (8 - off%8) % 8
+}
+
+// Save writes the trace in the current (v2) binary format. An encoded
+// (v2-loaded) trace round-trips its encoded streams without decoding.
 func (t *Trace) Save(w io.Writer) error {
+	sidEnc, memEnc := t.sidEnc, t.memEnc
+	if sidEnc == nil && memEnc == nil {
+		sidEnc = encodeSIDs(make([]byte, 0, len(t.sid)*2), t.sid)
+		memEnc = encodeAddrs(make([]byte, 0, len(t.memAddr)*3), t.memAddr)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(traceMagic); err != nil {
 		return fmt.Errorf("dyntrace: save %s: %w", t.prog.Name, err)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(traceVersion)); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(traceVersionV2)); err != nil {
+		return fmt.Errorf("dyntrace: save %s: %w", t.prog.Name, err)
+	}
+	crc := crc32.NewIEEE()
+	cw := io.MultiWriter(bw, crc)
+	name := []byte(t.prog.Name)
+	write := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	halted := uint8(0)
+	if t.halted {
+		halted = 1
+	}
+	var pad [8]byte
+	err := write(
+		uint32(len(name)), name,
+		t.insts, halted, t.numMem,
+		uint64(len(t.taken)), uint64(len(t.memStore)),
+		uint64(len(sidEnc)), uint64(len(memEnc)),
+		pad[:v2Pad(len(name))],
+		t.taken, t.memStore, sidEnc, memEnc,
+	)
+	if err == nil {
+		err = binary.Write(bw, binary.LittleEndian, crc.Sum32())
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		return fmt.Errorf("dyntrace: save %s: %w", t.prog.Name, err)
+	}
+	return nil
+}
+
+// saveV1 writes the legacy v1 format. It is kept (unexported) so the
+// v1→v2 compatibility and size-reduction tests exercise the real v1
+// writer rather than frozen fixture bytes.
+func (t *Trace) saveV1(w io.Writer) error {
+	t.materialize()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return fmt.Errorf("dyntrace: save %s: %w", t.prog.Name, err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(traceVersionV1)); err != nil {
 		return fmt.Errorf("dyntrace: save %s: %w", t.prog.Name, err)
 	}
 	crc := crc32.NewIEEE()
@@ -79,8 +181,8 @@ func (t *Trace) Save(w io.Writer) error {
 	return nil
 }
 
-// rawTrace is the fully parsed, CRC-verified on-disk payload before any
-// program is attached. Both Load and Verify go through it.
+// rawTrace is the fully parsed, CRC-verified v1 payload before any
+// program is attached.
 type rawTrace struct {
 	name     string
 	insts    uint64
@@ -117,23 +219,9 @@ func readColumn[E uint32 | uint64](r io.Reader, n uint64) ([]E, error) {
 	return out, nil
 }
 
-// readRaw parses and CRC-checks one serialized trace.
-func readRaw(r io.Reader) (*rawTrace, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("dyntrace: load: %w", err)
-	}
-	if string(magic[:]) != traceMagic {
-		return nil, fmt.Errorf("dyntrace: load: bad magic %q", magic)
-	}
-	var version uint32
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("dyntrace: load: %w", err)
-	}
-	if version != traceVersion {
-		return nil, fmt.Errorf("dyntrace: load: unsupported version %d (want %d)", version, traceVersion)
-	}
+// readRawV1 parses and CRC-checks one serialized v1 trace, starting
+// after the magic and version (which the caller has consumed).
+func readRawV1(br *bufio.Reader) (*rawTrace, error) {
 	crc := crc32.NewIEEE()
 	cr := io.TeeReader(br, crc)
 	read := func(vs ...any) error {
@@ -192,47 +280,280 @@ func readRaw(r io.Reader) (*rawTrace, error) {
 	return rt, nil
 }
 
+// rawV2 is the parsed v2 payload: bitsets (aliased into the source
+// bytes when possible) plus the still-encoded column streams.
+type rawV2 struct {
+	name     string
+	insts    uint64
+	numMem   uint64
+	halted   bool
+	taken    []uint64
+	memStore []uint64
+	sidEnc   []byte
+	memEnc   []byte
+}
+
+// aliasU64 reinterprets an 8-aligned little-endian byte region as a
+// []uint64 without copying; a misaligned region or a big-endian host
+// falls back to a decoded copy. n is in words.
+func aliasU64(b []byte, n uint64) []uint64 {
+	if n == 0 {
+		return []uint64{}
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// parseV2 parses one complete v2 image (starting at the magic),
+// CRC-checking everything and aliasing the bitsets and encoded streams
+// into data — the zero-copy path behind the store's mmap load.
+func parseV2(data []byte) (*rawV2, error) {
+	if len(data) < 8+4+v2HeaderLen+4 {
+		return nil, fmt.Errorf("dyntrace: load: truncated v2 trace (%d bytes)", len(data))
+	}
+	body, tail := data[8:len(data)-4], data[len(data)-4:]
+	if sum := crc32.ChecksumIEEE(body); sum != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("dyntrace: load: checksum mismatch (file %08x, computed %08x)",
+			binary.LittleEndian.Uint32(tail), sum)
+	}
+	off := 8
+	nameLen := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("dyntrace: load: implausible name length %d", nameLen)
+	}
+	if len(data)-off < int(nameLen)+v2HeaderLen+4 {
+		return nil, fmt.Errorf("dyntrace: load: truncated v2 header")
+	}
+	rt := &rawV2{name: string(data[off : off+int(nameLen)])}
+	off += int(nameLen)
+	rt.insts = binary.LittleEndian.Uint64(data[off:])
+	rt.halted = data[off+8] != 0
+	rt.numMem = binary.LittleEndian.Uint64(data[off+9:])
+	nTaken := binary.LittleEndian.Uint64(data[off+17:])
+	nMemStore := binary.LittleEndian.Uint64(data[off+25:])
+	sidEncLen := binary.LittleEndian.Uint64(data[off+33:])
+	memEncLen := binary.LittleEndian.Uint64(data[off+41:])
+	off += v2HeaderLen
+	if rt.insts > maxColumn || rt.numMem > maxColumn || nTaken > maxColumn || nMemStore > maxColumn ||
+		sidEncLen > maxColumn || memEncLen > maxColumn {
+		return nil, fmt.Errorf("dyntrace: load %s: implausible column lengths %d/%d/%d/%d/%d/%d",
+			rt.name, rt.insts, rt.numMem, nTaken, nMemStore, sidEncLen, memEncLen)
+	}
+	off += v2Pad(int(nameLen))
+	need := nTaken*8 + nMemStore*8 + sidEncLen + memEncLen
+	if uint64(len(data)-off-4) != need {
+		return nil, fmt.Errorf("dyntrace: load %s: payload is %d bytes, header claims %d",
+			rt.name, len(data)-off-4, need)
+	}
+	rt.taken = aliasU64(data[off:], nTaken)
+	off += int(nTaken) * 8
+	rt.memStore = aliasU64(data[off:], nMemStore)
+	off += int(nMemStore) * 8
+	rt.sidEnc = data[off : off+int(sidEncLen) : off+int(sidEncLen)]
+	off += int(sidEncLen)
+	rt.memEnc = data[off : off+int(memEncLen) : off+int(memEncLen)]
+	return rt, nil
+}
+
+// walkStreams decodes both v2 streams end to end, verifying they hold
+// exactly insts and numMem entries and not a byte more. onSID, when
+// non-nil, sees every decoded static id in order (Load uses it to
+// bounds-check ids and count implied memory references).
+func walkStreams(sidEnc, memEnc []byte, insts, numMem uint64, onSID func(i uint64, sid uint32) error) error {
+	off := 0
+	for i := uint64(0); i < insts; i++ {
+		v, w := binary.Uvarint(sidEnc[off:])
+		if w <= 0 || v > maxColumn {
+			return fmt.Errorf("static-id stream malformed at instruction %d", i)
+		}
+		if onSID != nil {
+			if err := onSID(i, uint32(v)); err != nil {
+				return err
+			}
+		}
+		off += w
+	}
+	if off != len(sidEnc) {
+		return fmt.Errorf("static-id stream has %d trailing bytes", len(sidEnc)-off)
+	}
+	off = 0
+	for i := uint64(0); i < numMem; i++ {
+		_, w := binary.Varint(memEnc[off:])
+		if w <= 0 {
+			return fmt.Errorf("address stream malformed at reference %d", i)
+		}
+		off += w
+	}
+	if off != len(memEnc) {
+		return fmt.Errorf("address stream has %d trailing bytes", len(memEnc)-off)
+	}
+	return nil
+}
+
 // checkShape validates the program-independent invariants that bind the
 // dynamic columns to each other. Load additionally cross-checks against
 // the program's static table (Trace.check).
-func checkShape(insts uint64, sid []uint32, taken, memAddr, memStore []uint64) error {
-	if insts != uint64(len(sid)) {
-		return fmt.Errorf("insts %d != static-id column length %d", insts, len(sid))
+func checkShape(insts, numMem uint64, nTaken, nMemStore int) error {
+	if want := (insts + 63) / 64; uint64(nTaken) != want {
+		return fmt.Errorf("taken bitset has %d words, want %d for %d instructions", nTaken, want, insts)
 	}
-	if want := (insts + 63) / 64; uint64(len(taken)) != want {
-		return fmt.Errorf("taken bitset has %d words, want %d for %d instructions", len(taken), want, insts)
-	}
-	if want := (uint64(len(memAddr)) + 63) / 64; uint64(len(memStore)) != want {
-		return fmt.Errorf("store bitset has %d words, want %d for %d references", len(memStore), want, len(memAddr))
+	if want := (numMem + 63) / 64; uint64(nMemStore) != want {
+		return fmt.Errorf("store bitset has %d words, want %d for %d references", nMemStore, want, numMem)
 	}
 	return nil
 }
 
-// Verify reads a serialized trace and checks everything that does not
-// require the traced program: magic, version, CRC-32, and the structural
-// invariants binding the columns together. The store's doctor pass uses
-// it to audit artifacts it cannot attach to a program (static-id bounds
-// and the memory-reference cross-count are only checkable by Load).
+// readVersion consumes and validates the magic, returning the version.
+func readVersion(br *bufio.Reader) (uint32, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, fmt.Errorf("dyntrace: load: %w", err)
+	}
+	if string(magic[:]) != traceMagic {
+		return 0, fmt.Errorf("dyntrace: load: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return 0, fmt.Errorf("dyntrace: load: %w", err)
+	}
+	return version, nil
+}
+
+// slurpV2 re-assembles the full v2 image from a reader whose magic and
+// version have been consumed.
+func slurpV2(br *bufio.Reader) ([]byte, error) {
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("dyntrace: load: %w", err)
+	}
+	data := make([]byte, 0, 8+len(rest))
+	data = append(data, traceMagic...)
+	data = binary.LittleEndian.AppendUint32(data, traceVersionV2)
+	return append(data, rest...), nil
+}
+
+// Verify reads a serialized trace (either version) and checks
+// everything that does not require the traced program: magic, version,
+// CRC-32, and the structural invariants binding the columns together.
+// The store's doctor pass uses it to audit artifacts it cannot attach
+// to a program (static-id bounds and the memory-reference cross-count
+// are only checkable by Load).
 func Verify(r io.Reader) error {
-	rt, err := readRaw(r)
+	br := bufio.NewReader(r)
+	version, err := readVersion(br)
 	if err != nil {
 		return err
 	}
-	if err := checkShape(rt.insts, rt.sid, rt.taken, rt.memAddr, rt.memStore); err != nil {
-		return fmt.Errorf("dyntrace: verify %s: %w", rt.name, err)
+	switch version {
+	case traceVersionV1:
+		rt, err := readRawV1(br)
+		if err != nil {
+			return err
+		}
+		if rt.insts != uint64(len(rt.sid)) {
+			return fmt.Errorf("dyntrace: verify %s: insts %d != static-id column length %d", rt.name, rt.insts, len(rt.sid))
+		}
+		if err := checkShape(rt.insts, uint64(len(rt.memAddr)), len(rt.taken), len(rt.memStore)); err != nil {
+			return fmt.Errorf("dyntrace: verify %s: %w", rt.name, err)
+		}
+		return nil
+	case traceVersionV2:
+		data, err := slurpV2(br)
+		if err != nil {
+			return err
+		}
+		rt, err := parseV2(data)
+		if err != nil {
+			return err
+		}
+		if err := checkShape(rt.insts, rt.numMem, len(rt.taken), len(rt.memStore)); err != nil {
+			return fmt.Errorf("dyntrace: verify %s: %w", rt.name, err)
+		}
+		if err := walkStreams(rt.sidEnc, rt.memEnc, rt.insts, rt.numMem, nil); err != nil {
+			return fmt.Errorf("dyntrace: verify %s: %w", rt.name, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("dyntrace: load: unsupported version %d (want %d or %d)", version, traceVersionV1, traceVersionV2)
 	}
-	return nil
 }
 
-// Load reads a trace written by Save and attaches it to p, the program it
-// was captured from. The static table is rebuilt from p and the dynamic
-// columns are self-checked against it, so feeding a trace to the wrong
-// program (or a corrupted file) fails here rather than during replay.
+// Load reads a trace written by Save (v2) or by older releases (v1) and
+// attaches it to p, the program it was captured from. The static table
+// is rebuilt from p and the dynamic columns are self-checked against
+// it, so feeding a trace to the wrong program (or a corrupted file)
+// fails here rather than during replay.
 func Load(r io.Reader, p *prog.Program) (*Trace, error) {
-	rt, err := readRaw(r)
+	br := bufio.NewReader(r)
+	version, err := readVersion(br)
 	if err != nil {
 		return nil, err
 	}
+	switch version {
+	case traceVersionV1:
+		rt, err := readRawV1(br)
+		if err != nil {
+			return nil, err
+		}
+		return attachV1(rt, p)
+	case traceVersionV2:
+		data, err := slurpV2(br)
+		if err != nil {
+			return nil, err
+		}
+		return loadBytesV2(data, nil, p)
+	default:
+		return nil, fmt.Errorf("dyntrace: load: unsupported version %d (want %d or %d)", version, traceVersionV1, traceVersionV2)
+	}
+}
+
+// LoadBytes loads a serialized trace from an in-memory image — usually
+// a read-only mmap of a store artifact. For v2 images the bitsets are
+// aliased in place (when aligned, on little-endian hosts) and the
+// encoded columns kept as subslices, so nothing is copied at load time;
+// release, when non-nil, is adopted by the returned Trace and invoked
+// by Close to drop the mapping. On error, ownership of release stays
+// with the caller. v1 images load through the copying path and release
+// is invoked immediately, since the trace keeps no reference to data.
+func LoadBytes(data []byte, release func() error, p *prog.Program) (*Trace, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("dyntrace: load: truncated trace (%d bytes)", len(data))
+	}
+	if string(data[:4]) != traceMagic {
+		return nil, fmt.Errorf("dyntrace: load: bad magic %q", data[:4])
+	}
+	switch version := binary.LittleEndian.Uint32(data[4:]); version {
+	case traceVersionV1:
+		rt, err := readRawV1(bufio.NewReader(bytes.NewReader(data[8:])))
+		if err != nil {
+			return nil, err
+		}
+		t, err := attachV1(rt, p)
+		if err != nil {
+			return nil, err
+		}
+		if release != nil {
+			if err := release(); err != nil {
+				return nil, fmt.Errorf("dyntrace: load %s: %w", rt.name, err)
+			}
+		}
+		return t, nil
+	case traceVersionV2:
+		return loadBytesV2(data, release, p)
+	default:
+		return nil, fmt.Errorf("dyntrace: load: unsupported version %d (want %d or %d)", version, traceVersionV1, traceVersionV2)
+	}
+}
+
+// attachV1 binds a parsed v1 payload to its program.
+func attachV1(rt *rawTrace, p *prog.Program) (*Trace, error) {
 	if rt.name != p.Name {
 		return nil, fmt.Errorf("dyntrace: load: trace is for %q, not %q", rt.name, p.Name)
 	}
@@ -245,7 +566,11 @@ func Load(r io.Reader, p *prog.Program) (*Trace, error) {
 		memAddr:  rt.memAddr,
 		memStore: rt.memStore,
 		insts:    rt.insts,
+		numMem:   uint64(len(rt.memAddr)),
 		halted:   rt.halted,
+	}
+	if uint64(len(rt.sid)) != rt.insts {
+		return nil, fmt.Errorf("dyntrace: load %s: insts %d != static-id column length %d", rt.name, rt.insts, len(rt.sid))
 	}
 	if err := t.check(); err != nil {
 		return nil, fmt.Errorf("dyntrace: load %s: %w", rt.name, err)
@@ -253,26 +578,73 @@ func Load(r io.Reader, p *prog.Program) (*Trace, error) {
 	return t, nil
 }
 
+// loadBytesV2 is the zero-copy v2 load over a complete image.
+func loadBytesV2(data []byte, release func() error, p *prog.Program) (*Trace, error) {
+	rt, err := parseV2(data)
+	if err != nil {
+		return nil, err
+	}
+	if rt.name != p.Name {
+		return nil, fmt.Errorf("dyntrace: load: trace is for %q, not %q", rt.name, p.Name)
+	}
+	static, _ := buildStatic(p)
+	t := &Trace{
+		prog:     p,
+		static:   static,
+		taken:    rt.taken,
+		memStore: rt.memStore,
+		sidEnc:   rt.sidEnc,
+		memEnc:   rt.memEnc,
+		insts:    rt.insts,
+		numMem:   rt.numMem,
+		halted:   rt.halted,
+	}
+	if err := t.check(); err != nil {
+		return nil, fmt.Errorf("dyntrace: load %s: %w", rt.name, err)
+	}
+	t.release = release
+	return t, nil
+}
+
 // check validates the dynamic columns against each other and against the
 // static table rebuilt from the program. Capture always produces traces
 // that pass; Load runs it so corruption or a program mismatch surfaces
-// before any consumer replays garbage.
+// before any consumer replays garbage. Encoded (v2) columns are
+// validated by streaming — nothing is materialized.
 func (t *Trace) check() error {
-	if err := checkShape(t.insts, t.sid, t.taken, t.memAddr, t.memStore); err != nil {
+	if err := checkShape(t.insts, t.numMem, len(t.taken), len(t.memStore)); err != nil {
 		return err
 	}
 	nStatic := uint32(len(t.static))
 	var memRefs uint64
-	for i, sid := range t.sid {
+	countSID := func(i uint64, sid uint32) error {
 		if sid >= nStatic {
 			return fmt.Errorf("dynamic instruction %d has static id %d, table has %d entries", i, sid, nStatic)
 		}
 		if t.static[sid].Mem {
 			memRefs++
 		}
+		return nil
 	}
-	if memRefs != uint64(len(t.memAddr)) {
-		return fmt.Errorf("static-id column implies %d memory references, address column has %d", memRefs, len(t.memAddr))
+	if t.sidEnc != nil || t.memEnc != nil {
+		if err := walkStreams(t.sidEnc, t.memEnc, t.insts, t.numMem, countSID); err != nil {
+			return err
+		}
+	} else {
+		if uint64(len(t.sid)) != t.insts {
+			return fmt.Errorf("insts %d != static-id column length %d", t.insts, len(t.sid))
+		}
+		for i, sid := range t.sid {
+			if err := countSID(uint64(i), sid); err != nil {
+				return err
+			}
+		}
+		if t.numMem != uint64(len(t.memAddr)) {
+			return fmt.Errorf("address column has %d references, trace claims %d", len(t.memAddr), t.numMem)
+		}
+	}
+	if memRefs != t.numMem {
+		return fmt.Errorf("static-id column implies %d memory references, address column has %d", memRefs, t.numMem)
 	}
 	return nil
 }

@@ -163,6 +163,27 @@ func runTimed(ctx context.Context, p *prog.Program, t *dyntrace.Trace, cfg uarch
 	return uarch.RunLimitsContext(ctx, p, cfg, lim)
 }
 
+// runTimedMulti times a program on every configuration in cfgs. When the
+// captured trace covers the window, the whole sweep fuses into a single
+// trace walk (uarch.ReplayMulti): the stream is decoded once and feeds
+// all pipelines. Otherwise it falls back to serial execution-driven
+// runs. Either way the results are bit-identical to len(cfgs) serial
+// runTimed calls, so checkpointed rows from older runs stay valid.
+func runTimedMulti(ctx context.Context, p *prog.Program, t *dyntrace.Trace, cfgs []uarch.Config, lim uarch.Limits) ([]uarch.Stats, error) {
+	if traceCovers(t, lim.MaxInsts) {
+		return uarch.ReplayMultiContext(ctx, t, cfgs, lim)
+	}
+	out := make([]uarch.Stats, len(cfgs))
+	for i, cfg := range cfgs {
+		st, err := uarch.RunLimitsContext(ctx, p, cfg, lim)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
 // Prepare profiles each selected workload, generates its clone, and
 // captures both programs' dynamic traces for replay.
 func Prepare(opts Options) ([]*Pair, error) {
@@ -757,11 +778,20 @@ type Table3Summary struct {
 	ClonePowRatio float64
 }
 
-// table3Base is the checkpointed baseline payload for one workload; its
-// fields are exported so the row survives the JSON round trip.
+// table3Base is the baseline measurement for one workload; its fields
+// are exported so the cell survives the JSON round trip.
 type table3Base struct {
 	RealIPC, CloneIPC float64
 	RealPow, ClonePow float64
+}
+
+// table3Cell is the checkpointed payload for one workload: its baseline
+// plus one row per design change. The whole cell is produced by two
+// fused replays (real and clone across base + all changes), so it is
+// also the natural checkpoint unit — a restored cell skips both walks.
+type table3Cell struct {
+	Base table3Base
+	Rows []DesignRow
 }
 
 // Table3 reproduces Table 3 (and provides the Figures 8/9 series via the
@@ -770,108 +800,89 @@ func Table3(pairs []*Pair, opts Options) ([]DesignRow, []Table3Summary, error) {
 	return Table3Context(context.Background(), pairs, opts)
 }
 
-// Table3Context is Table3 with cancellation and checkpointing: the
-// per-workload baselines land in stage "table3-base" and the flat
-// (design change × workload) grid in stage "table3", keyed
-// "change|workload".
+// Table3Context is Table3 with cancellation and checkpointing: one cell
+// per workload in stage "table3", each cell holding the baseline and
+// every design-change row. A workload's entire sweep (base + all five
+// changes, real and clone) runs as two fused replays over its traces —
+// the worker pool parallelizes across workloads, not (workload × config)
+// cells, so each trace is decoded exactly once per program.
 func Table3Context(ctx context.Context, pairs []*Pair, opts Options) ([]DesignRow, []Table3Summary, error) {
 	opts = opts.withDefaults()
 	base := uarch.BaseConfig()
 	changes := uarch.DesignChanges()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
 
-	srBase, err := newStage(opts, "table3-base", len(pairs))
-	if err != nil {
-		return nil, nil, err
-	}
-	bases := make([]table3Base, len(pairs))
-	err = forEach(ctx, opts, len(pairs), func(i int) error {
-		pr := pairs[i]
-		return stageCell(srBase, pr.Name, &bases[i], func() error {
-			str, err := runTimed(ctx, pr.Real, pr.RealTrace, base, lim)
-			if err != nil {
-				return err
-			}
-			sts, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, base, lim)
-			if err != nil {
-				return err
-			}
-			bases[i] = table3Base{
-				RealIPC: str.IPC(), CloneIPC: sts.IPC(),
-				RealPow: power.Estimate(str).AvgPower, ClonePow: power.Estimate(sts).AvgPower,
-			}
-			return nil
-		})
-	})
-	srBase.close()
-	if err != nil {
-		return nil, nil, err
-	}
-
-	// One flat (design change × workload) grid, so the worker pool is
-	// never starved by a change whose simulations run long.
-	cfgs := make([]uarch.Config, len(changes))
+	// cfgs[0] is the base; cfgs[1+ci] is design change ci.
+	cfgs := make([]uarch.Config, 1+len(changes))
+	cfgs[0] = base
 	for ci, ch := range changes {
-		cfgs[ci] = ch.Apply(base)
+		cfgs[1+ci] = ch.Apply(base)
 	}
-	work := make([][]DesignRow, len(changes))
-	for ci := range work {
-		work[ci] = make([]DesignRow, len(pairs))
-	}
-	sr, err := newStage(opts, "table3", len(changes)*len(pairs))
+	sr, err := newStage(opts, "table3", len(pairs))
 	if err != nil {
 		return nil, nil, err
 	}
 	defer sr.close()
-	var rows []DesignRow
-	if err := forEach(ctx, opts, len(changes)*len(pairs), func(j int) error {
-		ci, i := j/len(pairs), j%len(pairs)
-		ch, pr := changes[ci], pairs[i]
-		return stageCell(sr, ch.Name+"|"+pr.Name, &work[ci][i], func() error {
-			str, err := runTimed(ctx, pr.Real, pr.RealTrace, cfgs[ci], lim)
+	cells := make([]table3Cell, len(pairs))
+	if err := forEach(ctx, opts, len(pairs), func(i int) error {
+		pr := pairs[i]
+		return stageCell(sr, pr.Name, &cells[i], func() error {
+			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim)
 			if err != nil {
 				return err
 			}
-			sts, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, cfgs[ci], lim)
+			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim)
 			if err != nil {
 				return err
 			}
-			realPow := power.Estimate(str).AvgPower
-			clonePow := power.Estimate(sts).AvgPower
-			b := bases[i]
-			reIPC, err := stats.RelativeError(b.RealIPC, str.IPC(), b.CloneIPC, sts.IPC())
-			if err != nil {
-				return err
+			b := table3Base{
+				RealIPC: str[0].IPC(), CloneIPC: sts[0].IPC(),
+				RealPow: power.Estimate(str[0]).AvgPower, ClonePow: power.Estimate(sts[0]).AvgPower,
 			}
-			rePow, err := stats.RelativeError(b.RealPow, realPow, b.ClonePow, clonePow)
-			if err != nil {
-				return err
+			rows := make([]DesignRow, len(changes))
+			for ci, ch := range changes {
+				stR, stC := str[1+ci], sts[1+ci]
+				realPow := power.Estimate(stR).AvgPower
+				clonePow := power.Estimate(stC).AvgPower
+				reIPC, err := stats.RelativeError(b.RealIPC, stR.IPC(), b.CloneIPC, stC.IPC())
+				if err != nil {
+					return err
+				}
+				rePow, err := stats.RelativeError(b.RealPow, realPow, b.ClonePow, clonePow)
+				if err != nil {
+					return err
+				}
+				rows[ci] = DesignRow{
+					Workload:     pr.Name,
+					Change:       ch.Name,
+					RealBaseIPC:  b.RealIPC,
+					RealIPC:      stR.IPC(),
+					CloneBaseIPC: b.CloneIPC,
+					CloneIPC:     stC.IPC(),
+					RealBasePow:  b.RealPow,
+					RealPow:      realPow,
+					CloneBasePow: b.ClonePow,
+					ClonePow:     clonePow,
+					RelErrIPC:    reIPC,
+					RelErrPow:    rePow,
+				}
 			}
-			work[ci][i] = DesignRow{
-				Workload:     pr.Name,
-				Change:       ch.Name,
-				RealBaseIPC:  b.RealIPC,
-				RealIPC:      str.IPC(),
-				CloneBaseIPC: b.CloneIPC,
-				CloneIPC:     sts.IPC(),
-				RealBasePow:  b.RealPow,
-				RealPow:      realPow,
-				CloneBasePow: b.ClonePow,
-				ClonePow:     clonePow,
-				RelErrIPC:    reIPC,
-				RelErrPow:    rePow,
-			}
+			cells[i] = table3Cell{Base: b, Rows: rows}
 			return nil
 		})
 	}); err != nil {
 		return nil, nil, err
 	}
 
+	// Reassemble change-major, exactly as the flat grid used to emit:
+	// all workloads for change 0, then change 1, and so on.
+	var rows []DesignRow
 	var summaries []Table3Summary
 	for ci, ch := range changes {
 		var sIPC, sPow, worst float64
 		var rs, cs, rp, cp float64
-		for _, r := range work[ci] {
+		for i := range pairs {
+			r := cells[i].Rows[ci]
 			sIPC += r.RelErrIPC
 			sPow += r.RelErrPow
 			if r.RelErrIPC > worst {
@@ -881,8 +892,9 @@ func Table3Context(ctx context.Context, pairs []*Pair, opts Options) ([]DesignRo
 			cs += r.CloneIPC / r.CloneBaseIPC
 			rp += r.RealPow / r.RealBasePow
 			cp += r.ClonePow / r.CloneBasePow
+			rows = append(rows, r)
 		}
-		n := float64(len(work[ci]))
+		n := float64(len(pairs))
 		summaries = append(summaries, Table3Summary{
 			Change:        ch.Name,
 			AvgRelErrIPC:  sIPC / n,
@@ -893,7 +905,6 @@ func Table3Context(ctx context.Context, pairs []*Pair, opts Options) ([]DesignRo
 			RealPowRatio:  rp / n,
 			ClonePowRatio: cp / n,
 		})
-		rows = append(rows, work[ci]...)
 	}
 	return rows, summaries, nil
 }

@@ -29,15 +29,17 @@ type PredictorRow struct {
 // extensionPredictors are swept in order.
 var extensionPredictors = []string{"gap", "gshare", "bimodal", "taken", "not-taken"}
 
-// PredictorSweep measures real and clone IPC under each predictor. The
-// (predictor × workload) grid runs as one flat work list, each cell
-// replaying the pair's captured traces.
+// PredictorSweep measures real and clone IPC under each predictor. Each
+// workload's whole predictor sweep runs as one fused replay of its pair
+// of captured traces (uarch.ReplayMulti), with the worker pool
+// parallelizing across workloads.
 func PredictorSweep(pairs []*Pair, opts Options) ([]PredictorRow, error) {
 	return PredictorSweepContext(context.Background(), pairs, opts)
 }
 
 // PredictorSweepContext is PredictorSweep with cancellation and
-// checkpointing (stage "predictor-sweep", keyed "predictor|workload").
+// per-workload checkpointing (stage "predictor-sweep", one cell per
+// workload holding its full row set).
 func PredictorSweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]PredictorRow, error) {
 	opts = opts.withDefaults()
 	base := uarch.BaseConfig()
@@ -48,37 +50,47 @@ func PredictorSweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]
 		cfgs[pi].Predictor = uarch.PredictorSpec(pn)
 		cfgs[pi].Name = "pred-" + pn
 	}
-	rows := make([]PredictorRow, len(extensionPredictors)*len(pairs))
-	sr, err := newStage(opts, "predictor-sweep", len(rows))
+	cells := make([][]PredictorRow, len(pairs))
+	sr, err := newStage(opts, "predictor-sweep", len(pairs))
 	if err != nil {
 		return nil, err
 	}
 	defer sr.close()
-	err = forEach(ctx, opts, len(rows), func(j int) error {
-		pi, i := j/len(pairs), j%len(pairs)
+	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		return stageCell(sr, extensionPredictors[pi]+"|"+pr.Name, &rows[j], func() error {
-			str, err := runTimed(ctx, pr.Real, pr.RealTrace, cfgs[pi], lim)
+		return stageCell(sr, pr.Name, &cells[i], func() error {
+			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim)
 			if err != nil {
 				return err
 			}
-			sts, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, cfgs[pi], lim)
+			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim)
 			if err != nil {
 				return err
 			}
-			rows[j] = PredictorRow{
-				Workload:  pr.Name,
-				Predictor: extensionPredictors[pi],
-				RealIPC:   str.IPC(),
-				CloneIPC:  sts.IPC(),
-				RealMiss:  str.MispredRate(),
-				CloneMiss: sts.MispredRate(),
+			cell := make([]PredictorRow, len(extensionPredictors))
+			for pi, pn := range extensionPredictors {
+				cell[pi] = PredictorRow{
+					Workload:  pr.Name,
+					Predictor: pn,
+					RealIPC:   str[pi].IPC(),
+					CloneIPC:  sts[pi].IPC(),
+					RealMiss:  str[pi].MispredRate(),
+					CloneMiss: sts[pi].MispredRate(),
+				}
 			}
+			cells[i] = cell
 			return nil
 		})
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Predictor-major, matching the flat grid this replaced.
+	rows := make([]PredictorRow, 0, len(extensionPredictors)*len(pairs))
+	for pi := range extensionPredictors {
+		for i := range pairs {
+			rows = append(rows, cells[i][pi])
+		}
 	}
 	return rows, nil
 }
@@ -140,29 +152,22 @@ func PrefetchStudyContext(ctx context.Context, pairs []*Pair, opts Options) ([]P
 	}
 	defer sr.close()
 	rows := make([]PrefetchRow, len(pairs))
+	cfgs := []uarch.Config{off, on}
 	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
 		return stageCell(sr, pr.Name, &rows[i], func() error {
-			rOff, err := runTimed(ctx, pr.Real, pr.RealTrace, off, lim)
+			r, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim)
 			if err != nil {
 				return err
 			}
-			rOn, err := runTimed(ctx, pr.Real, pr.RealTrace, on, lim)
-			if err != nil {
-				return err
-			}
-			cOff, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, off, lim)
-			if err != nil {
-				return err
-			}
-			cOn, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, on, lim)
+			c, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim)
 			if err != nil {
 				return err
 			}
 			rows[i] = PrefetchRow{
 				Workload:     pr.Name,
-				RealSpeedup:  rOn.IPC() / rOff.IPC(),
-				CloneSpeedup: cOn.IPC() / cOff.IPC(),
+				RealSpeedup:  r[1].IPC() / r[0].IPC(),
+				CloneSpeedup: c[1].IPC() / c[0].IPC(),
 			}
 			return nil
 		})
@@ -199,14 +204,15 @@ type L2Row struct {
 // so the smallest point behaves like no L2 at all).
 var l2Sizes = []int{16, 32, 64, 128, 256}
 
-// L2Sweep measures real and clone IPC across L2 sizes, as one flat
-// (size × workload) replay grid.
+// L2Sweep measures real and clone IPC across L2 sizes; each workload's
+// size sweep runs as one fused replay per program.
 func L2Sweep(pairs []*Pair, opts Options) ([]L2Row, error) {
 	return L2SweepContext(context.Background(), pairs, opts)
 }
 
-// L2SweepContext is L2Sweep with cancellation and checkpointing
-// (stage "l2-sweep", keyed "<size>kb|workload").
+// L2SweepContext is L2Sweep with cancellation and per-workload
+// checkpointing (stage "l2-sweep", one cell per workload holding its
+// full row set).
 func L2SweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]L2Row, error) {
 	opts = opts.withDefaults()
 	base := uarch.BaseConfig()
@@ -217,34 +223,44 @@ func L2SweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]L2Row, 
 		cfgs[si].L2 = cache.Config{Name: "L2", Size: kb << 10, Assoc: 4, LineSize: 64}
 		cfgs[si].Name = fmt.Sprintf("l2-%dkb", kb)
 	}
-	rows := make([]L2Row, len(l2Sizes)*len(pairs))
-	sr, err := newStage(opts, "l2-sweep", len(rows))
+	cells := make([][]L2Row, len(pairs))
+	sr, err := newStage(opts, "l2-sweep", len(pairs))
 	if err != nil {
 		return nil, err
 	}
 	defer sr.close()
-	err = forEach(ctx, opts, len(rows), func(j int) error {
-		si, i := j/len(pairs), j%len(pairs)
+	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		return stageCell(sr, fmt.Sprintf("%dkb|%s", l2Sizes[si], pr.Name), &rows[j], func() error {
-			str, err := runTimed(ctx, pr.Real, pr.RealTrace, cfgs[si], lim)
+		return stageCell(sr, pr.Name, &cells[i], func() error {
+			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim)
 			if err != nil {
 				return err
 			}
-			sts, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, cfgs[si], lim)
+			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim)
 			if err != nil {
 				return err
 			}
-			rows[j] = L2Row{
-				Workload: pr.Name, L2KB: l2Sizes[si],
-				RealIPC: str.IPC(), CloneIPC: sts.IPC(),
-				RealMiss: str.L2.MissRate(), CloneMiss: sts.L2.MissRate(),
+			cell := make([]L2Row, len(l2Sizes))
+			for si, kb := range l2Sizes {
+				cell[si] = L2Row{
+					Workload: pr.Name, L2KB: kb,
+					RealIPC: str[si].IPC(), CloneIPC: sts[si].IPC(),
+					RealMiss: str[si].L2.MissRate(), CloneMiss: sts[si].L2.MissRate(),
+				}
 			}
+			cells[i] = cell
 			return nil
 		})
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Size-major, matching the flat grid this replaced.
+	rows := make([]L2Row, 0, len(l2Sizes)*len(pairs))
+	for si := range l2Sizes {
+		for i := range pairs {
+			rows = append(rows, cells[i][si])
+		}
 	}
 	return rows, nil
 }

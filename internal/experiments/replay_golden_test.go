@@ -83,6 +83,49 @@ func TestReplayGoldenCacheMPI(t *testing.T) {
 	}
 }
 
+// TestReplayMultiGolden28 pins the fused timing replay against serial
+// replay over the full 28-configuration cache grid mapped onto the base
+// pipeline: one decode pass feeding 28 independent Sims must be
+// bit-identical, per uarch.Stats field, to 28 separate trace walks. Run
+// under `go test -race` in CI this also covers concurrent fused replays
+// sharing one trace's decode cache across workloads.
+func TestReplayMultiGolden28(t *testing.T) {
+	base := uarch.BaseConfig()
+	sweep := cache.Sweep28()
+	cfgs := make([]uarch.Config, len(sweep))
+	for i, cc := range sweep {
+		cfgs[i] = base
+		cfgs[i].L1D = cc
+		cfgs[i].L1D.Name = "L1D"
+		cfgs[i].Name = cc.String()
+	}
+	lim := uarch.Limits{Warmup: 20_000, MaxInsts: 80_000}
+	for _, name := range goldenWorkloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := w.Build()
+		tr, err := dyntrace.Capture(p, lim.MaxInsts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := uarch.ReplayMulti(tr, cfgs, lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range cfgs {
+			serial, err := uarch.Replay(tr, cfg, lim)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, cfg.Name, err)
+			}
+			if !reflect.DeepEqual(fused[i], serial) {
+				t.Errorf("%s %s: fused replay diverges from serial", name, cfg.Name)
+			}
+		}
+	}
+}
+
 // TestParallelGridRace drives the atomic-counter work pool with more
 // workers than items and with the full flattened Table 3 grid; run under
 // `go test -race` it checks the pool for data races, and the comparison

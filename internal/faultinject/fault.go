@@ -3,6 +3,7 @@ package faultinject
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"io"
 	iofs "io/fs"
 	"math/rand/v2"
 	"os"
@@ -225,6 +226,25 @@ func (f *FaultFS) ReadDir(name string) ([]iofs.DirEntry, error) {
 		return nil, pathErr("readdir", name, syscall.EIO)
 	}
 	return f.inner.ReadDir(name)
+}
+
+// Map implements Mapper by reading the file through this FaultFS's own
+// faulty Open/Read path, so chaos runs exercise the store's zero-copy
+// load branch (dyntrace.LoadBytes) under the full fault schedule:
+// injected EIOs surface as transient Map errors and bit-flips land in
+// the returned image for the CRC layer to catch. The bytes are a heap
+// copy, so release is a no-op.
+func (f *FaultFS) Map(name string) (data []byte, release func() error, err error) {
+	file, err := f.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer file.Close()
+	data, err = io.ReadAll(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
 }
 
 func (f *FaultFS) Stat(name string) (iofs.FileInfo, error) {

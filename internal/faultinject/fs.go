@@ -47,6 +47,18 @@ type FS interface {
 	Stat(name string) (iofs.FileInfo, error)
 }
 
+// Mapper is the optional zero-copy extension of FS: Map returns a
+// file's entire contents as a read-only byte slice — an mmap when the
+// implementation supports it — plus a release function that must be
+// called exactly once when the caller is done with the bytes (the
+// slice must not be touched afterwards). Callers type-assert
+// `fs.(Mapper)` and fall back to Open+ReadAll when the assertion
+// fails, so an FS without mmap support (or a non-unix build) degrades
+// to the copying path, never to an error.
+type Mapper interface {
+	Map(name string) (data []byte, release func() error, err error)
+}
+
 // OS is the passthrough FS used outside of chaos tests.
 var OS FS = osFS{}
 

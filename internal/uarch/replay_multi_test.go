@@ -1,0 +1,116 @@
+package uarch
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"perfclone/internal/dyntrace"
+	"perfclone/internal/workloads"
+)
+
+// multiConfigs is a small grid spanning the dimensions the fused replay
+// must keep independent per pipeline: width, window sizes, predictor,
+// caches, prefetching, and issue discipline.
+func multiConfigs() []Config {
+	base := BaseConfig()
+	cfgs := []Config{base}
+	c := base
+	c.Name = "2x-width"
+	c.Width = 2
+	cfgs = append(cfgs, c)
+	c = base
+	c.Name = "2x-rob-lsq"
+	c.ROBSize *= 2
+	c.LSQSize *= 2
+	cfgs = append(cfgs, c)
+	c = base
+	c.Name = "half-l1d"
+	c.L1D.Size /= 2
+	cfgs = append(cfgs, c)
+	c = base
+	c.Name = "bimodal"
+	c.Predictor = "bimodal"
+	cfgs = append(cfgs, c)
+	c = base
+	c.Name = "prefetch"
+	c.NextLinePrefetch = true
+	cfgs = append(cfgs, c)
+	c = base
+	c.Name = "inorder"
+	c.InOrder = true
+	cfgs = append(cfgs, c)
+	return cfgs
+}
+
+// TestReplayMultiMatchesSerial: one fused ReplayMulti pass must be
+// bit-identical (reflect.DeepEqual on full Stats) to N serial Replay
+// calls for every configuration — fusion only amortizes decode, never
+// couples the pipelines.
+func TestReplayMultiMatchesSerial(t *testing.T) {
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build()
+	tr, err := dyntrace.Capture(p, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := multiConfigs()
+	lim := Limits{Warmup: 30_000, MaxInsts: 100_000}
+	fused, err := ReplayMulti(tr, cfgs, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		serial, err := Replay(tr, cfg, lim)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if !reflect.DeepEqual(fused[i], serial) {
+			t.Errorf("%s: fused stats differ from serial replay", cfg.Name)
+		}
+	}
+}
+
+// TestReplayMultiValidation: malformed hand-built traces must surface as
+// errors from ReplayMulti, never panics — the replay path is fed by
+// storage that may be corrupt or mismatched.
+func TestReplayMultiValidation(t *testing.T) {
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build()
+	good, err := dyntrace.Capture(p, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sids := good.SIDs()
+	cfgs := []Config{BaseConfig()}
+	lim := Limits{MaxInsts: uint64(len(sids))}
+
+	// Taken bitset shorter than the instruction count.
+	short := dyntrace.FromColumns(p, sids, good.TakenBits()[:len(good.TakenBits())/2],
+		good.MemAddrs(), good.MemStores(), good.Insts(), good.Halted())
+	if _, err := ReplayMulti(short, cfgs, lim); err == nil || !strings.Contains(err.Error(), "taken bitset") {
+		t.Errorf("short taken bitset: err=%v, want taken-bitset validation error", err)
+	}
+
+	// Static id beyond the program's static table.
+	bad := append([]uint32(nil), sids...)
+	bad[len(bad)/2] = 1 << 30
+	ragged := dyntrace.FromColumns(p, bad, good.TakenBits(),
+		good.MemAddrs(), good.MemStores(), good.Insts(), good.Halted())
+	if _, err := ReplayMulti(ragged, cfgs, lim); err == nil || !strings.Contains(err.Error(), "static id") {
+		t.Errorf("out-of-range sid: err=%v, want static-id validation error", err)
+	}
+
+	// Fewer packed addresses than the sid stream's memory references.
+	starved := dyntrace.FromColumns(p, sids, good.TakenBits(),
+		good.MemAddrs()[:good.NumMem()/2], good.MemStores(), good.Insts(), good.Halted())
+	if _, err := ReplayMulti(starved, cfgs, lim); err == nil {
+		t.Error("starved address column replayed without error")
+	}
+}

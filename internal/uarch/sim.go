@@ -2,6 +2,7 @@ package uarch
 
 import (
 	"context"
+	"fmt"
 
 	"perfclone/internal/bpred"
 	"perfclone/internal/cache"
@@ -83,18 +84,30 @@ type TraceInst struct {
 	// Branch and Jump classify control instructions.
 	Branch bool
 	Jump   bool
+	// IsMem marks loads and stores (derivable from Class; precomputed so
+	// the fetch hot loop reads one flag instead of comparing classes).
+	// Producers inside this package set it; RunTrace normalizes records
+	// from external generators.
+	IsMem bool
 }
 
-// robEntry is one in-flight instruction.
+// robEntry is one in-flight instruction, packed to 40 bytes (vs ~96 for
+// the full TraceInst embed it replaced) so commit/issue scans stay in
+// cache: only the fields the back end reads after dispatch survive.
+// An entry issues and completes in one scheduling event, so a single
+// issued flag serves as both the old issued and done bits.
 type robEntry struct {
-	ti       TraceInst
-	issued   bool
-	done     bool
+	addr     uint64 // effective address (loads/stores)
 	complete uint64 // cycle the result is available
-	prod1    int    // ROB index of src1 producer, -1 if ready
-	prod2    int
-	isMem    bool
 	seq      uint64
+	prod1    int32 // ROB index of src1 producer, -1 if ready
+	prod2    int32
+	class    isa.Class
+	dest     isa.Reg
+	nsrc     uint8
+	issued   bool
+	isMem    bool
+	branch   bool
 }
 
 // Sim runs one program on one configuration.
@@ -112,7 +125,14 @@ type Sim struct {
 	robCount int
 	lsqCount int
 
-	regProducer [isa.NumRegs]int // ROB index currently producing each reg
+	// numUnissued counts ROB entries awaiting issue; issue() exits
+	// immediately when it is zero. headIssued is the length of the
+	// contiguous issued prefix at the ROB head, letting issue() start
+	// its scan past entries that can only be waiting to commit.
+	numUnissued int
+	headIssued  int
+
+	regProducer [isa.NumRegs]int32 // ROB index currently producing each reg
 
 	cycle uint64
 
@@ -216,6 +236,7 @@ func RunLimitsContext(ctx context.Context, p *prog.Program, cfg Config, lim Limi
 		}
 		ti.Branch = in.Op.IsBranch()
 		ti.Jump = in.Op == isa.OpJmp
+		ti.IsMem = ti.Class == isa.ClassLoad || ti.Class == isa.ClassStore
 		srcs := in.Sources(srcBuf[:0])
 		ti.Src1, ti.Src2 = isa.NoReg, isa.NoReg
 		if len(srcs) > 0 {
@@ -254,62 +275,145 @@ func Replay(t *dyntrace.Trace, cfg Config, lim Limits) (Stats, error) {
 }
 
 // ReplayContext is Replay with cooperative cancellation, polling ctx at
-// every streamChunk boundary like RunLimitsContext. Cancellation does not
-// affect determinism: a run either completes with the exact Replay result
-// or returns ctx.Err() with zero Stats.
+// every streamChunk boundary (including before the final partial chunk)
+// like RunLimitsContext. Cancellation does not affect determinism: a run
+// either completes with the exact Replay result or returns ctx.Err()
+// with zero Stats.
 func ReplayContext(ctx context.Context, t *dyntrace.Trace, cfg Config, lim Limits) (Stats, error) {
-	s, err := newSim(cfg)
+	res, err := ReplayMultiContext(ctx, t, []Config{cfg}, lim)
 	if err != nil {
 		return Stats{}, err
 	}
-	s.warmup = lim.Warmup
+	return res[0], nil
+}
+
+// decodeTable is the per-trace decode product ReplayMulti memoizes on
+// the trace (dyntrace.Trace.DecodeCache): a TraceInst template per
+// static instruction (everything but Addr and Taken is static) plus the
+// memory-op flags the chunk decoder needs to pair static ids with the
+// packed address stream. Building it is O(statics) and happens once per
+// trace, no matter how many sweeps replay it.
+type decodeTable struct {
+	tmpl  []TraceInst
+	isMem []bool
+}
+
+func decodeTableFor(t *dyntrace.Trace) *decodeTable {
+	return t.DecodeCache(func() any {
+		statics := t.Statics()
+		dt := &decodeTable{
+			tmpl:  make([]TraceInst, len(statics)),
+			isMem: make([]bool, len(statics)),
+		}
+		for i := range statics {
+			st := &statics[i]
+			dt.tmpl[i] = TraceInst{
+				PC:     st.PC,
+				Class:  st.Class,
+				Dest:   st.Dest,
+				Src1:   st.Src1,
+				Src2:   st.Src2,
+				Branch: st.Branch,
+				Jump:   st.Jump,
+				IsMem:  st.Mem,
+			}
+			dt.isMem[i] = st.Mem
+		}
+		return dt
+	}).(*decodeTable)
+}
+
+// ReplayMulti times one captured trace on every configuration in cfgs,
+// decoding each streamChunk of TraceInst records once and feeding it to
+// all pipelines in lockstep. Each config keeps its own independent Sim,
+// and the chunk boundaries are identical to serial Replay's, so the
+// returned Stats are bit-identical to len(cfgs) serial Replay calls —
+// the decode cost (static-id stream, address stream, taken bitset,
+// template expansion) is simply amortized N ways. This is what makes
+// wide config sweeps (Table 3's design changes, the predictor and L2
+// sweeps) cost one trace walk instead of N.
+func ReplayMulti(t *dyntrace.Trace, cfgs []Config, lim Limits) ([]Stats, error) {
+	return ReplayMultiContext(context.Background(), t, cfgs, lim)
+}
+
+// ReplayMultiContext is ReplayMulti with cooperative cancellation,
+// polling ctx once per chunk across all configs.
+func ReplayMultiContext(ctx context.Context, t *dyntrace.Trace, cfgs []Config, lim Limits) ([]Stats, error) {
+	sims := make([]*Sim, len(cfgs))
+	for i, cfg := range cfgs {
+		s, err := newSim(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.warmup = lim.Warmup
+		sims[i] = s
+	}
 	n := t.Insts()
 	if lim.MaxInsts > 0 && n > lim.MaxInsts {
 		n = lim.MaxInsts
 	}
-
-	// Per-static templates: everything but Addr and Taken is a property
-	// of the static instruction, so the per-dynamic-instruction work is
-	// two array reads, a bitset probe, and (for memory ops) one cursor
-	// advance into the packed address stream.
-	statics := t.Statics()
-	tmpl := make([]TraceInst, len(statics))
-	for i := range statics {
-		st := &statics[i]
-		tmpl[i] = TraceInst{
-			PC:     st.PC,
-			Class:  st.Class,
-			Dest:   st.Dest,
-			Src1:   st.Src1,
-			Src2:   st.Src2,
-			Branch: st.Branch,
-			Jump:   st.Jump,
-		}
-	}
-	sids := t.SIDs()
+	dt := decodeTableFor(t)
 	takenBits := t.TakenBits()
-	memAddr := t.MemAddrs()
-	chunk := make([]TraceInst, 0, streamChunk)
-	mi := 0
-	for i := uint64(0); i < n; i++ {
-		sid := sids[i]
-		ti := tmpl[sid]
-		if statics[sid].Mem {
-			ti.Addr = memAddr[mi]
-			mi++
-		}
-		ti.Taken = takenBits[i>>6]>>(i&63)&1 == 1
-		chunk = append(chunk, ti)
-		if len(chunk) == cap(chunk) {
-			if err := ctx.Err(); err != nil {
-				return Stats{}, err
-			}
-			s.consume(chunk)
-			chunk = chunk[:0]
-		}
+	if uint64(len(takenBits))*64 < n {
+		return nil, fmt.Errorf("uarch: replay %s: taken bitset has %d words, need %d for %d instructions",
+			t.Program().Name, len(takenBits), (n+63)/64, n)
 	}
-	s.consume(chunk)
-	return s.finish(), nil
+
+	// The cursor streams both dynamic columns in chunk-sized bites: on a
+	// zero-copy (v2) trace it varint-decodes straight out of the mmap,
+	// on a captured trace it returns aliasing subslices. Either way a
+	// malformed column surfaces as a validation error here, not a panic.
+	cur := t.NewCursor()
+	sidBuf := make([]uint32, streamChunk)
+	addrBuf := make([]uint64, streamChunk)
+	chunk := make([]TraceInst, streamChunk)
+	for base := uint64(0); base < n; {
+		c := n - base
+		if c > streamChunk {
+			c = streamChunk
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sids, err := cur.NextSIDs(sidBuf[:c])
+		if err != nil {
+			return nil, fmt.Errorf("uarch: replay: %w", err)
+		}
+		nmem := 0
+		for _, sid := range sids {
+			if int(sid) >= len(dt.isMem) {
+				return nil, fmt.Errorf("uarch: replay %s: static id %d out of range (table has %d entries)",
+					t.Program().Name, sid, len(dt.isMem))
+			}
+			if dt.isMem[sid] {
+				nmem++
+			}
+		}
+		addrs, err := cur.NextAddrs(addrBuf[:nmem])
+		if err != nil {
+			return nil, fmt.Errorf("uarch: replay: %w", err)
+		}
+		mi := 0
+		for k, sid := range sids {
+			ti := dt.tmpl[sid]
+			if dt.isMem[sid] {
+				ti.Addr = addrs[mi]
+				mi++
+			}
+			i := base + uint64(k)
+			ti.Taken = takenBits[i>>6]>>(i&63)&1 == 1
+			chunk[k] = ti
+		}
+		for _, s := range sims {
+			s.consume(chunk[:c])
+		}
+		base += c
+	}
+	out := make([]Stats, len(sims))
+	for i, s := range sims {
+		out[i] = s.finish()
+	}
+	return out, nil
 }
 
 // RunTrace times a synthetic instruction stream instead of a program: gen
@@ -325,9 +429,11 @@ func RunTrace(cfg Config, lim Limits, n uint64, gen func(i uint64) TraceInst) (S
 	if lim.MaxInsts > 0 && n > lim.MaxInsts {
 		n = lim.MaxInsts
 	}
-	chunk := make([]TraceInst, 0, 1<<14)
+	chunk := make([]TraceInst, 0, streamChunk)
 	for i := uint64(0); i < n; i++ {
-		chunk = append(chunk, gen(i))
+		ti := gen(i)
+		ti.IsMem = ti.Class == isa.ClassLoad || ti.Class == isa.ClassStore
+		chunk = append(chunk, ti)
 		if len(chunk) == cap(chunk) {
 			s.consume(chunk)
 			chunk = chunk[:0]
@@ -352,284 +458,505 @@ func (s *Sim) resetForMeasurement() {
 
 // consume feeds a chunk of the dynamic stream through the pipeline.
 func (s *Sim) consume(trace []TraceInst) {
-	i := 0
-	for i < len(trace) {
-		i += s.step(trace[i:])
-	}
+	s.pump(trace, false)
 }
 
 // drain runs the pipeline until every in-flight instruction commits.
 func (s *Sim) drain() {
-	for s.robCount > 0 {
-		s.step(nil)
-	}
+	s.pump(nil, true)
 }
 
-// step advances one cycle, fetching from the front of pending (the not
-// yet fetched portion of the stream). It returns how many instructions it
-// fetched.
-func (s *Sim) step(pending []TraceInst) int {
-	s.cycle++
-	s.st.ROBOccupancy += uint64(s.robCount)
-	s.st.LSQOccupancy += uint64(s.lsqCount)
+// pump is the pipeline's cycle loop. Each iteration is one cycle: retire
+// up to Width completed instructions from the ROB head, wake and issue up
+// to Width ready instructions bounded by the functional units, then fetch
+// and dispatch up to Width instructions from the front of trace. With
+// drainAll set it keeps cycling after the trace is exhausted until the
+// ROB empties.
+//
+// It is deliberately one large function. Split into per-stage methods,
+// every cycle paid four call boundaries and each stage re-loaded and
+// re-stored the clock, ROB cursors, and fetch state through the Sim;
+// merged, that per-cycle state lives in locals for the whole chunk and is
+// spilled back only at the rare synchronization points (warmup reset,
+// stall fast-forward) and on return. The stage order and all per-stage
+// semantics are unchanged, so results stay bit-identical to the staged
+// version.
+func (s *Sim) pump(trace []TraceInst, drainAll bool) {
+	cfg := &s.cfg
+	width := cfg.Width
+	robSize := cfg.ROBSize
+	lsqSize := cfg.LSQSize
+	inOrder := cfg.InOrder
+	lineMask := ^uint64(cfg.L1I.LineSize - 1)
+	l1Lat := cfg.L1Lat
+	mispredPenalty := uint64(cfg.MispredictPenalty)
+	aluLat := isa.ClassIntALU.Latency()
+	rob := s.rob
 
-	s.commit()
-	s.issue()
-	fetched := s.fetchAndDispatch(pending)
-	return fetched
-}
+	cycle := s.cycle
+	robHead, robTail, robCount := s.robHead, s.robTail, s.robCount
+	lsqCount := s.lsqCount
+	numUnissued, headIssued := s.numUnissued, s.headIssued
+	robOcc, lsqOcc := s.st.ROBOccupancy, s.st.LSQOccupancy
+	fetchBlocked, fetchResumeAt := s.fetchBlocked, s.fetchResumeAt
+	pendingMispred := s.pendingMispred
+	lastFetchLine := s.lastFetchLine
+	committedTotal := s.committed
+	warmup := s.warmup
+	seqCounter := s.seqCounter
+	stCommitted, stInsts := s.st.Committed, s.st.Insts
+	stIssued := s.st.Issued
+	stRegReads, stRegWrites := s.st.RegReads, s.st.RegWrites
 
-// commit retires completed instructions from the ROB head, up to Width
-// per cycle. Stores access the D-cache at commit.
-func (s *Sim) commit() {
-	for n := 0; n < s.cfg.Width && s.robCount > 0; n++ {
-		e := &s.rob[s.robHead]
-		if !e.done || e.complete > s.cycle {
-			return
-		}
-		if e.ti.Class == isa.ClassStore {
-			s.dcacheAccess(e.ti.Addr, true)
-		}
-		if e.isMem {
-			s.lsqCount--
-		}
-		if e.ti.Dest != isa.NoReg && s.regProducer[e.ti.Dest] == s.robHead {
-			s.regProducer[e.ti.Dest] = -1
-		}
-		// Resolve a pending mispredict (branch resolves at completion;
-		// redirect was already scheduled at issue).
-		s.st.Committed++
-		s.st.Insts++
-		s.st.Classes[e.ti.Class]++
-		s.robHead = (s.robHead + 1) % s.cfg.ROBSize
-		s.robCount--
-		s.committed++
-		if s.warmup > 0 && s.committed == s.warmup {
-			s.resetForMeasurement()
-		}
-	}
-}
+	i := 0
+	for i < len(trace) || (drainAll && robCount > 0) {
+		cycle++
+		robOcc += uint64(robCount)
+		lsqOcc += uint64(lsqCount)
 
-// issue wakes up and selects ready instructions, bounded by issue width
-// and functional units.
-func (s *Sim) issue() {
-	width := s.cfg.Width
-	intALU := s.cfg.IntALUs
-	fpALU := s.cfg.FPALUs
-	memPorts := s.cfg.MemPorts
-	intMul := s.cfg.IntMulDiv
-	fpMul := s.cfg.FPMulDiv
-
-	idx := s.robHead
-	for n, issued := 0, 0; n < s.robCount && issued < width; n++ {
-		cur := idx
-		idx = (idx + 1) % s.cfg.ROBSize
-		e := &s.rob[cur]
-		if e.issued {
-			continue
-		}
-		if !s.ready(e) {
-			if s.cfg.InOrder {
+		// Commit: retire completed instructions from the ROB head, up to
+		// Width per cycle. Stores access the D-cache at commit.
+		nCommit := 0
+		for nCommit < width && robCount > 0 {
+			e := &rob[robHead]
+			if !e.issued || e.complete > cycle {
 				break
 			}
-			continue
+			if e.class == isa.ClassStore {
+				s.dcacheAccess(e.addr, true)
+			}
+			if e.isMem {
+				lsqCount--
+			}
+			if e.dest != isa.NoReg && s.regProducer[e.dest] == int32(robHead) {
+				s.regProducer[e.dest] = -1
+			}
+			stCommitted++
+			stInsts++
+			s.st.Classes[e.class]++
+			robHead++
+			if robHead == robSize {
+				robHead = 0
+			}
+			robCount--
+			if headIssued > 0 {
+				headIssued--
+			}
+			committedTotal++
+			nCommit++
+			if warmup > 0 && committedTotal == warmup {
+				s.cycle = cycle
+				s.st.ROBOccupancy, s.st.LSQOccupancy = robOcc, lsqOcc
+				s.st.Committed, s.st.Insts = stCommitted, stInsts
+				s.st.Issued = stIssued
+				s.st.RegReads, s.st.RegWrites = stRegReads, stRegWrites
+				s.resetForMeasurement()
+				robOcc, lsqOcc = 0, 0
+				stCommitted, stInsts = 0, 0
+				stIssued = 0
+				stRegReads, stRegWrites = 0, 0
+				warmup = 0
+			}
 		}
-		// Functional unit constraints.
-		var lat int
-		switch e.ti.Class {
-		case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump, isa.ClassHalt:
-			if intALU == 0 {
-				continue
-			}
-			intALU--
-			lat = isa.ClassIntALU.Latency()
-		case isa.ClassIntMul:
-			if intMul == 0 {
-				continue
-			}
-			intMul--
-			lat = e.ti.Class.Latency()
-		case isa.ClassIntDiv:
-			u := s.freeUnit(s.intDivFree)
-			if u < 0 {
-				continue
-			}
-			lat = e.ti.Class.Latency()
-			s.intDivFree[u] = s.cycle + uint64(lat)
-		case isa.ClassFPAdd:
-			if fpALU == 0 {
-				continue
-			}
-			fpALU--
-			lat = e.ti.Class.Latency()
-		case isa.ClassFPMul:
-			if fpMul == 0 {
-				continue
-			}
-			fpMul--
-			lat = e.ti.Class.Latency()
-		case isa.ClassFPDiv:
-			u := s.freeUnit(s.fpDivFree)
-			if u < 0 {
-				continue
-			}
-			lat = e.ti.Class.Latency()
-			s.fpDivFree[u] = s.cycle + uint64(lat)
-		case isa.ClassLoad:
-			if memPorts == 0 {
-				continue
-			}
-			memPorts--
-			lat = s.dcacheAccess(e.ti.Addr, false)
-		case isa.ClassStore:
-			if memPorts == 0 {
-				continue
-			}
-			memPorts--
-			lat = 1 // address generation; data written at commit
-		}
-		e.issued = true
-		e.done = true
-		e.complete = s.cycle + uint64(lat)
-		s.st.Issued++
-		s.st.RegReads += uint64(numSrcs(&e.ti))
-		if e.ti.Dest != isa.NoReg {
-			s.st.RegWrites++
-		}
-		issued++
-		// A resolved mispredicted branch unblocks fetch after the
-		// redirect penalty.
-		if e.ti.Branch && s.pendingMispred == cur {
-			s.fetchResumeAt = e.complete + uint64(s.cfg.MispredictPenalty)
-			s.pendingMispred = -1
-		}
-	}
-}
 
-func numSrcs(ti *TraceInst) int {
-	n := 0
-	if ti.Src1 != isa.NoReg {
-		n++
-	}
-	if ti.Src2 != isa.NoReg {
-		n++
-	}
-	return n
-}
-
-// ready reports whether e's operands are available this cycle.
-func (s *Sim) ready(e *robEntry) bool {
-	if e.prod1 >= 0 {
-		p := &s.rob[e.prod1]
-		if p.seq < e.seq && (!p.done || p.complete > s.cycle) {
-			return false
-		}
-	}
-	if e.prod2 >= 0 {
-		p := &s.rob[e.prod2]
-		if p.seq < e.seq && (!p.done || p.complete > s.cycle) {
-			return false
-		}
-	}
-	return true
-}
-
-func (s *Sim) freeUnit(units []uint64) int {
-	for i, busy := range units {
-		if busy <= s.cycle {
-			return i
-		}
-	}
-	return -1
-}
-
-// fetchAndDispatch models the decoupled front end: fetch up to Width
-// instructions into the fetch queue (respecting I-cache and branch
-// redirects), then dispatch up to Width queued instructions into the ROB.
-func (s *Sim) fetchAndDispatch(pending []TraceInst) int {
-	// Dispatch happens from the queue filled on previous cycles; to keep
-	// the model simple the queue holds abstract slots and dispatch pulls
-	// directly from the stream.
-	fetched := 0
-	if s.fetchBlocked {
-		if s.cycle >= s.fetchResumeAt && s.pendingMispred == -1 {
-			s.fetchBlocked = false
-		}
-	}
-	if !s.fetchBlocked {
-		for fetched < s.cfg.Width && fetched < len(pending) {
-			if s.robCount >= s.cfg.ROBSize {
-				break
+		// Issue: wake and select ready instructions, bounded by issue
+		// width and functional units. The scan starts past the issued
+		// prefix at the head and stops once every unissued entry has been
+		// considered.
+		nIssue := 0
+		if numUnissued > 0 {
+			intALU := cfg.IntALUs
+			fpALU := cfg.FPALUs
+			memPorts := cfg.MemPorts
+			intMul := cfg.IntMulDiv
+			fpMul := cfg.FPMulDiv
+			idx := robHead + headIssued
+			if idx >= robSize {
+				idx -= robSize
 			}
-			ti := pending[fetched]
-			if ti.Class == isa.ClassLoad || ti.Class == isa.ClassStore {
-				if s.lsqCount >= s.cfg.LSQSize {
+			remaining := numUnissued
+			prefix := true // scanned entries so far extend the issued head prefix
+			for n := headIssued; n < robCount && nIssue < width && remaining > 0; n++ {
+				cur := idx
+				idx++
+				if idx == robSize {
+					idx = 0
+				}
+				e := &rob[cur]
+				if e.issued {
+					if prefix {
+						headIssued = n + 1
+					}
+					continue
+				}
+				remaining--
+				ready := true
+				if e.prod1 >= 0 {
+					p := &rob[e.prod1]
+					if p.seq < e.seq && (!p.issued || p.complete > cycle) {
+						ready = false
+					}
+				}
+				if ready && e.prod2 >= 0 {
+					p := &rob[e.prod2]
+					if p.seq < e.seq && (!p.issued || p.complete > cycle) {
+						ready = false
+					}
+				}
+				if !ready {
+					if inOrder {
+						break
+					}
+					prefix = false
+					continue
+				}
+				// Functional unit constraints.
+				var lat int
+				switch e.class {
+				case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump, isa.ClassHalt:
+					if intALU == 0 {
+						prefix = false
+						continue
+					}
+					intALU--
+					lat = aluLat
+				case isa.ClassIntMul:
+					if intMul == 0 {
+						prefix = false
+						continue
+					}
+					intMul--
+					lat = e.class.Latency()
+				case isa.ClassIntDiv:
+					u := -1
+					for k, busy := range s.intDivFree {
+						if busy <= cycle {
+							u = k
+							break
+						}
+					}
+					if u < 0 {
+						prefix = false
+						continue
+					}
+					lat = e.class.Latency()
+					s.intDivFree[u] = cycle + uint64(lat)
+				case isa.ClassFPAdd:
+					if fpALU == 0 {
+						prefix = false
+						continue
+					}
+					fpALU--
+					lat = e.class.Latency()
+				case isa.ClassFPMul:
+					if fpMul == 0 {
+						prefix = false
+						continue
+					}
+					fpMul--
+					lat = e.class.Latency()
+				case isa.ClassFPDiv:
+					u := -1
+					for k, busy := range s.fpDivFree {
+						if busy <= cycle {
+							u = k
+							break
+						}
+					}
+					if u < 0 {
+						prefix = false
+						continue
+					}
+					lat = e.class.Latency()
+					s.fpDivFree[u] = cycle + uint64(lat)
+				case isa.ClassLoad:
+					if memPorts == 0 {
+						prefix = false
+						continue
+					}
+					memPorts--
+					lat = s.dcacheAccess(e.addr, false)
+				case isa.ClassStore:
+					if memPorts == 0 {
+						prefix = false
+						continue
+					}
+					memPorts--
+					lat = 1 // address generation; data written at commit
+				}
+				e.issued = true
+				e.complete = cycle + uint64(lat)
+				numUnissued--
+				if prefix {
+					headIssued = n + 1
+				}
+				stIssued++
+				stRegReads += uint64(e.nsrc)
+				if e.dest != isa.NoReg {
+					stRegWrites++
+				}
+				nIssue++
+				// A resolved mispredicted branch unblocks fetch after the
+				// redirect penalty.
+				if e.branch && pendingMispred == cur {
+					fetchResumeAt = e.complete + mispredPenalty
+					pendingMispred = -1
+				}
+			}
+		}
+
+		// Fetch and dispatch: the decoupled front end pulls up to Width
+		// instructions from the stream into the ROB, respecting I-cache
+		// misses and branch redirects.
+		fetched := 0
+		if fetchBlocked && cycle >= fetchResumeAt && pendingMispred == -1 {
+			fetchBlocked = false
+		}
+		if !fetchBlocked {
+			avail := len(trace) - i
+			if avail > width {
+				avail = width
+			}
+			grp := trace[i : i+avail]
+			for fetched < len(grp) {
+				if robCount >= robSize {
+					break
+				}
+				ti := &grp[fetched]
+				isMem := ti.IsMem
+				if isMem && lsqCount >= lsqSize {
+					break
+				}
+				// I-cache: one access per new line.
+				line := ti.PC & lineMask
+				if line != lastFetchLine {
+					lastFetchLine = line
+					lat := s.icacheAccess(ti.PC)
+					if lat > l1Lat {
+						// Fetch bubble for the miss duration; this
+						// instruction still enters this cycle's group.
+						fetchBlocked = true
+						fetchResumeAt = cycle + uint64(lat)
+					}
+				}
+				fetched++
+
+				// Dispatch: allocate a ROB (and LSQ) entry in place.
+				seqCounter++
+				idx := robTail
+				e := &rob[idx]
+				e.addr = ti.Addr
+				e.complete = 0
+				e.seq = seqCounter
+				e.prod1 = -1
+				e.prod2 = -1
+				e.class = ti.Class
+				e.dest = ti.Dest
+				e.nsrc = 0
+				e.issued = false
+				e.isMem = isMem
+				e.branch = ti.Branch
+				if ti.Src1 != isa.NoReg {
+					e.nsrc++
+					if ti.Src1 != isa.RZero {
+						e.prod1 = s.regProducer[ti.Src1]
+					}
+				}
+				if ti.Src2 != isa.NoReg {
+					e.nsrc++
+					if ti.Src2 != isa.RZero {
+						e.prod2 = s.regProducer[ti.Src2]
+					}
+				}
+				if isMem {
+					lsqCount++
+				}
+				robTail++
+				if robTail == robSize {
+					robTail = 0
+				}
+				robCount++
+				numUnissued++
+				if ti.Dest != isa.NoReg && ti.Dest != isa.RZero {
+					s.regProducer[ti.Dest] = int32(idx)
+				}
+
+				if ti.Branch {
+					s.st.BranchLookups++
+					predTaken := s.pred.Predict(ti.PC)
+					s.pred.Update(ti.PC, ti.Taken)
+					if predTaken != ti.Taken {
+						s.st.BranchMispredict++
+						// Fetch stalls until the branch resolves.
+						pendingMispred = idx
+						fetchBlocked = true
+						fetchResumeAt = ^uint64(0) >> 1
+						break
+					}
+					if ti.Taken {
+						// Taken branches end the fetch group.
+						break
+					}
+				}
+				if ti.Jump {
 					break
 				}
 			}
-			// I-cache: one access per new line.
-			line := ti.PC &^ uint64(s.cfg.L1I.LineSize-1)
-			if line != s.lastFetchLine {
-				s.lastFetchLine = line
-				lat := s.icacheAccess(ti.PC)
-				if lat > s.cfg.L1Lat {
-					// Fetch bubble for the miss duration; this
-					// instruction still enters this cycle's group.
-					s.fetchBlocked = true
-					s.fetchResumeAt = s.cycle + uint64(lat)
-				}
-			}
-			s.st.Fetched++
-			fetched++
-			s.dispatch(ti)
+			s.st.Fetched += uint64(fetched)
+			s.st.Dispatched += uint64(fetched)
+			i += fetched
+		}
 
-			if ti.Branch {
-				s.st.BranchLookups++
-				predTaken := s.pred.Predict(ti.PC)
-				s.pred.Update(ti.PC, ti.Taken)
-				if predTaken != ti.Taken {
-					s.st.BranchMispredict++
-					// Fetch stalls until the branch resolves.
-					s.pendingMispred = (s.robTail - 1 + s.cfg.ROBSize) % s.cfg.ROBSize
-					s.fetchBlocked = true
-					s.fetchResumeAt = ^uint64(0) >> 1
-					break
-				}
-				if ti.Taken {
-					// Taken branches end the fetch group.
-					break
+		// A cycle with zero commits, issues, and fetches is the start of a
+		// pure stall; fastForward jumps over the provably event-free cycles
+		// instead of simulating them one by one.
+		if nCommit == 0 && nIssue == 0 && fetched == 0 && (robCount > 0 || fetchBlocked) {
+			if robCount > 0 {
+				// When the head completes next cycle the earliest wake is
+				// cycle+1 and fastForward cannot skip; don't pay the call.
+				if h := &rob[robHead]; h.issued && h.complete == cycle+1 {
+					continue
 				}
 			}
-			if ti.Jump {
+			to := s.fastForward(cycle, robHead, robCount, headIssued,
+				fetchBlocked, fetchResumeAt, pendingMispred)
+			if skipped := to - cycle; skipped > 0 {
+				robOcc += skipped * uint64(robCount)
+				lsqOcc += skipped * uint64(lsqCount)
+				cycle = to
+			}
+		}
+	}
+
+	s.cycle = cycle
+	s.robHead, s.robTail, s.robCount = robHead, robTail, robCount
+	s.lsqCount = lsqCount
+	s.numUnissued, s.headIssued = numUnissued, headIssued
+	s.st.ROBOccupancy, s.st.LSQOccupancy = robOcc, lsqOcc
+	s.fetchBlocked, s.fetchResumeAt = fetchBlocked, fetchResumeAt
+	s.pendingMispred = pendingMispred
+	s.lastFetchLine = lastFetchLine
+	s.committed = committedTotal
+	s.warmup = warmup
+	s.seqCounter = seqCounter
+	s.st.Committed, s.st.Insts = stCommitted, stInsts
+	s.st.Issued = stIssued
+	s.st.RegReads, s.st.RegWrites = stRegReads, stRegWrites
+}
+
+// fastForward returns the latest cycle that provably repeats the
+// zero-event cycle just simulated (the caller jumps the clock there and
+// accumulates the occupancy integrals for the skipped cycles, whose
+// occupancies cannot change). It takes the pipeline state as arguments so
+// the pump loop's register-resident locals never spill through the Sim.
+// It is called only after a cycle with zero commits,
+// zero issues, and zero fetches, and it preserves bit-identity with
+// cycle-by-cycle stepping because it stops at (the cycle before) the
+// minimum over every possible wake source:
+//
+//   - the ROB head's completion (earliest possible commit; LSQ/ROB-full
+//     fetch stalls also clear no earlier than this);
+//   - for each unissued entry: the completion times of its issued
+//     producers (an entry blocked only by unissued producers grounds out
+//     transitively — those producers contribute their own wake times);
+//   - for ready divider-class entries: the earliest divider free time;
+//   - the fetch-resume cycle of an I-cache miss (a mispredict stall has
+//     no resume time until the branch issues, which the issue candidates
+//     already cover).
+//
+// Every strictly earlier cycle repeats the zero-event cycle just
+// simulated, and stopping early is always safe — normal stepping simply
+// resumes. A ready non-divider entry cannot exist here (a zero-issue
+// cycle leaves every per-cycle FU budget untouched), so finding one
+// means the stall analysis is out of sync and we skip nothing.
+// No commits occur in the skipped range, so the warmup reset cannot be
+// crossed.
+func (s *Sim) fastForward(cycle uint64, robHead, robCount, headIssued int,
+	fetchBlocked bool, fetchResumeAt uint64, pendingMispred int) uint64 {
+	const never = ^uint64(0)
+	wake := never
+	rob := s.rob
+	if robCount > 0 {
+		head := &rob[robHead]
+		if head.issued {
+			if head.complete <= cycle {
+				return cycle // commit was possible; analysis out of sync
+			}
+			wake = head.complete
+		}
+		robSize := s.cfg.ROBSize
+		inOrder := s.cfg.InOrder
+		idx := robHead + headIssued
+		if idx >= robSize {
+			idx -= robSize
+		}
+		for n := headIssued; n < robCount; n++ {
+			cur := idx
+			idx++
+			if idx == robSize {
+				idx = 0
+			}
+			e := &rob[cur]
+			if e.issued {
+				continue
+			}
+			blocked := false
+			if e.prod1 >= 0 {
+				p := &rob[e.prod1]
+				if p.seq < e.seq && (!p.issued || p.complete > cycle) {
+					blocked = true
+					if p.issued && p.complete < wake {
+						wake = p.complete
+					}
+				}
+			}
+			if e.prod2 >= 0 {
+				p := &rob[e.prod2]
+				if p.seq < e.seq && (!p.issued || p.complete > cycle) {
+					blocked = true
+					if p.issued && p.complete < wake {
+						wake = p.complete
+					}
+				}
+			}
+			if !blocked {
+				var units []uint64
+				switch e.class {
+				case isa.ClassIntDiv:
+					units = s.intDivFree
+				case isa.ClassFPDiv:
+					units = s.fpDivFree
+				default:
+					return cycle // ready non-divider entry; analysis out of sync
+				}
+				for _, busy := range units {
+					if busy <= cycle {
+						return cycle // a unit was free; analysis out of sync
+					}
+					if busy < wake {
+						wake = busy
+					}
+				}
+			}
+			if inOrder && !blocked {
+				// In-order issue scans past FU-blocked ready entries but
+				// stops at the first unready one, so entries beyond an
+				// unready entry cannot contribute an earlier wake; ready
+				// divider-blocked entries do not stop the scan.
+				continue
+			}
+			if inOrder {
 				break
 			}
 		}
 	}
-	return fetched
-}
-
-// dispatch allocates a ROB (and LSQ) entry for ti.
-func (s *Sim) dispatch(ti TraceInst) {
-	s.seqCounter++
-	e := robEntry{ti: ti, prod1: -1, prod2: -1, seq: s.seqCounter}
-	if ti.Src1 != isa.NoReg && ti.Src1 != isa.RZero {
-		e.prod1 = s.regProducer[ti.Src1]
+	if fetchBlocked && pendingMispred == -1 && fetchResumeAt > cycle && fetchResumeAt < wake {
+		wake = fetchResumeAt
 	}
-	if ti.Src2 != isa.NoReg && ti.Src2 != isa.RZero {
-		e.prod2 = s.regProducer[ti.Src2]
+	if wake == never || wake <= cycle+1 {
+		return cycle
 	}
-	if ti.Class == isa.ClassLoad || ti.Class == isa.ClassStore {
-		e.isMem = true
-		s.lsqCount++
-	}
-	idx := s.robTail
-	s.rob[idx] = e
-	s.robTail = (s.robTail + 1) % s.cfg.ROBSize
-	s.robCount++
-	if ti.Dest != isa.NoReg && ti.Dest != isa.RZero {
-		s.regProducer[ti.Dest] = idx
-	}
-	s.st.Dispatched++
+	return wake - 1
 }
 
 // icacheAccess returns the instruction-fetch latency for pc.
