@@ -71,6 +71,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -fidelity-tolerance must be positive")
 		os.Exit(2)
 	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -workers must be >= 0 (0 = GOMAXPROCS)")
+		os.Exit(2)
+	}
 
 	// Profiling brackets the whole run (capture, synthesis, and the
 	// replay-driven grids), so a profile shows where an experiments
@@ -167,6 +171,11 @@ func main() {
 
 	tr := &tracker{verbose: *progress}
 	opts.Progress = tr.observe
+
+	// Greppable counters line: the worker budget every stage carves its
+	// outer×inner split from (see experiments.WorkerBudget).
+	fmt.Fprintf(os.Stderr, "experiments: workers %d effective (parallel %v, requested %d)\n",
+		opts.EffectiveWorkers(), opts.Parallel, *workers)
 
 	err := execute(ctx, *run, opts)
 	if opts.Store != nil {

@@ -302,10 +302,18 @@ func (c *Cache) lookup(si uint64, tag uint64) int {
 // Access simulates one access. It returns true on hit. A miss allocates
 // the line (write-allocate); dirty evictions count as writebacks.
 func (c *Cache) Access(addr uint64, write bool) bool {
+	tag := addr >> c.lineShift
+	return c.accessTagSet(tag, tag&c.setMask, write)
+}
+
+// accessTagSet is Access with the index/tag math already done — the
+// stateful replacement walk. The batched stream replay (AccessStream)
+// precomputes tag and set for a whole lane block and feeds them here, so
+// the pure shift/mask arithmetic stays in a vectorizable loop separate
+// from this branchy part; the statistics are identical either way.
+func (c *Cache) accessTagSet(tag, si uint64, write bool) bool {
 	c.clock++
 	c.stats.Accesses++
-	tag := addr >> c.lineShift
-	si := tag & c.setMask
 	set := c.sets[si]
 	if wi := c.lookup(si, tag); wi >= 0 {
 		if c.cfg.Replacement != PolicyFIFO {
@@ -465,21 +473,63 @@ func (rs *ReplaySet) AccessStream(addrs []uint64, storeBits []uint64) error {
 // sweep within milliseconds.
 const accessStreamCheckEvery = 1 << 16
 
+// tagBatch is the lane count of the batched index/tag pass in
+// AccessStreamContext: a multiple of 64 (so store-bit words never
+// straddle a block) that divides accessStreamCheckEvery (so the
+// cancellation cadence is unchanged), small enough that the three
+// scratch arrays stay L1-resident.
+const tagBatch = 512
+
 // AccessStreamContext is AccessStream with cooperative cancellation: a
 // full sweep replays len(addrs)×len(caches) references, so long grids
 // poll ctx every accessStreamCheckEvery references and abandon the sweep
 // (returning ctx.Err()) once it is cancelled.
+//
+// Each cache's replay runs in tagBatch-lane blocks: the pure per-address
+// math — tag extraction, set indexing, store-bit expansion — fills
+// scratch lanes in tight branch-free loops (SIMD-style, amenable to
+// unrolling and vectorization), and the branchy stateful replacement
+// walk then consumes the precomputed lanes. Access order and arithmetic
+// are unchanged, so the statistics are bit-identical to the unbatched
+// loop.
 func (rs *ReplaySet) AccessStreamContext(ctx context.Context, addrs []uint64, storeBits []uint64) error {
 	if need := (len(addrs) + 63) / 64; len(storeBits) < need {
 		return fmt.Errorf("cache: store bitset has %d words for %d references, need %d", len(storeBits), len(addrs), need)
 	}
 	done := ctx.Done()
+	var tags, sets [tagBatch]uint64
+	var writes [tagBatch]bool
 	for _, c := range rs.caches {
-		for i, a := range addrs {
-			if done != nil && i%accessStreamCheckEvery == 0 && ctx.Err() != nil {
+		shift, mask := c.lineShift, c.setMask
+		for base := 0; base < len(addrs); base += tagBatch {
+			if done != nil && base%accessStreamCheckEvery == 0 && ctx.Err() != nil {
 				return ctx.Err()
 			}
-			c.Access(a, storeBits[i>>6]>>(uint(i)&63)&1 == 1)
+			blk := addrs[base:]
+			if len(blk) > tagBatch {
+				blk = blk[:tagBatch]
+			}
+			for i, a := range blk {
+				t := a >> shift
+				tags[i] = t
+				sets[i] = t & mask
+			}
+			// base is a multiple of 64, so each group of 64 lanes shares
+			// one store-bit word.
+			wbase := base >> 6
+			for i := 0; i < len(blk); i += 64 {
+				w := storeBits[wbase+i>>6]
+				end := i + 64
+				if end > len(blk) {
+					end = len(blk)
+				}
+				for j := i; j < end; j++ {
+					writes[j] = w>>(uint(j)&63)&1 == 1
+				}
+			}
+			for i := range blk {
+				c.accessTagSet(tags[i], sets[i], writes[i])
+			}
 		}
 	}
 	return nil

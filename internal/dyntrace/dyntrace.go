@@ -89,7 +89,8 @@ type Trace struct {
 
 	// decodeCache memoizes one consumer-defined decode product (see
 	// DecodeCache); stored as any so dyntrace stays free of consumer
-	// types.
+	// types. decodeOnce makes the build single-flight.
+	decodeOnce  sync.Once
 	decodeCache atomic.Value
 
 	// release unmaps or otherwise frees the backing storage of a
@@ -245,16 +246,20 @@ func (t *Trace) SIDs() []uint32 {
 
 // DecodeCache memoizes one consumer-defined decode product on the
 // trace, so repeated sweeps over the same trace skip its construction
-// (uarch stores its per-static TraceInst template table here). build
-// may run more than once under a race; every result must be equivalent,
-// and one of them wins.
+// (uarch stores its per-static TraceInst template table here). The
+// build is single-flight: it runs exactly once per trace, concurrent
+// callers block until the winner has stored the product, and every
+// caller — then and forever after — receives the same value, so
+// pointer-identity comparisons on the product are safe. build must
+// return a non-nil value.
 func (t *Trace) DecodeCache(build func() any) any {
 	if v := t.decodeCache.Load(); v != nil {
 		return v
 	}
-	v := build()
-	t.decodeCache.Store(v)
-	return v
+	t.decodeOnce.Do(func() {
+		t.decodeCache.Store(build())
+	})
+	return t.decodeCache.Load()
 }
 
 // Close releases the backing storage of a zero-copy load (the mmap

@@ -1,6 +1,8 @@
 package dyntrace
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"perfclone/internal/funcsim"
@@ -143,5 +145,55 @@ func TestCaptureWorkload(t *testing.T) {
 	// above 16 B/inst means the compact layout regressed.
 	if perInst > 16 {
 		t.Fatalf("trace footprint %.1f B/inst, want compact (<16)", perInst)
+	}
+}
+
+// TestDecodeCacheSingleFlight hammers DecodeCache from many goroutines
+// released by a single barrier: the build must run exactly once, and
+// every caller must receive the identical pointer. The old
+// check-then-store implementation let two concurrent callers both run
+// build, with the loser's pointer differing from the winner's; run
+// under -race this also proves the single-flight path publishes the
+// product safely.
+func TestDecodeCacheSingleFlight(t *testing.T) {
+	tr, err := Capture(loopProgram(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 32
+	var builds atomic.Int32
+	results := make([]any, goroutines)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			results[g] = tr.DecodeCache(func() any {
+				builds.Add(1)
+				return &struct{ n int }{n: g}
+			})
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build ran %d times, want exactly 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d received a different product than goroutine 0", g)
+		}
+	}
+	// Later callers keep getting the winner, never a fresh build.
+	if v := tr.DecodeCache(func() any {
+		builds.Add(1)
+		return &struct{ n int }{n: -1}
+	}); v != results[0] {
+		t.Error("post-race caller received a different product")
+	}
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build re-ran after the cache was populated (%d total)", n)
 	}
 }

@@ -13,14 +13,18 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"perfclone/internal/dyntrace"
 	"perfclone/internal/faultinject"
 	"perfclone/internal/store"
+	"perfclone/internal/uarch"
+	"perfclone/internal/workloads"
 )
 
 // chaosSeed picks the fault-plan seed: reproducible from the environment,
@@ -154,6 +158,89 @@ func TestChaosGridByteIdentical(t *testing.T) {
 	}
 	if got3 != want {
 		t.Fatalf("seed %d: chaos resume output differs:\n--- want ---\n%s\n--- got ---\n%s", seed, want, got3)
+	}
+}
+
+// TestChaosMmapParallelReplay drives the parallel fused replay over a
+// trace whose columns alias a FaultFS.Map-served image — the zero-copy
+// load branch — while 4 config workers read the shared chunk buffers
+// concurrently. The fault plan is latency-only: injected delays shuffle
+// goroutine interleavings without corrupting the image, so every round
+// must be bit-identical to an in-memory replay. Closing the trace
+// immediately after ReplayMultiWorkers returns pins the drain
+// guarantee: no worker may still hold a subslice of the mapping once
+// the walk has returned (under -race a straggler reading after Close
+// races with the next round's load).
+func TestChaosMmapParallelReplay(t *testing.T) {
+	seed := chaosSeed(t)
+	t.Logf("chaos seed %d (re-run with PERFCLONE_CHAOS_SEED=%d to reproduce)", seed, seed)
+
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build()
+	const budget = 120_000
+	tr, err := dyntrace.Capture(p, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A small grid spanning pipeline and cache dimensions, replayed on
+	// more configs than workers so each worker owns several pipelines.
+	base := uarch.BaseConfig()
+	cfgs := []uarch.Config{base}
+	for _, mut := range []func(*uarch.Config){
+		func(c *uarch.Config) { c.Name = "2x-width"; c.Width = 2 },
+		func(c *uarch.Config) { c.Name = "half-l1d"; c.L1D.Size /= 2 },
+		func(c *uarch.Config) { c.Name = "bimodal"; c.Predictor = "bimodal" },
+		func(c *uarch.Config) { c.Name = "prefetch"; c.NextLinePrefetch = true },
+		func(c *uarch.Config) { c.Name = "inorder"; c.InOrder = true },
+	} {
+		c := base
+		mut(&c)
+		cfgs = append(cfgs, c)
+	}
+	lim := uarch.Limits{Warmup: 20_000, MaxInsts: 100_000}
+	want, err := uarch.ReplayMulti(tr, cfgs, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist once through a pristine store, then serve every load
+	// through the fault injector's Map path.
+	dir := t.TempDir()
+	clean, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.SaveTrace("crc32", tr, budget); err != nil {
+		t.Fatal(err)
+	}
+	ffs := faultinject.New(faultinject.OS, faultinject.Plan{
+		Seed:       seed,
+		MaxLatency: 50 * time.Microsecond,
+	})
+	var log bytes.Buffer
+	st, err := store.Open(dir, store.WithFS(ffs), store.WithLog(&log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		mapped, ok, err := st.LoadTrace("crc32", p, budget)
+		if err != nil || !ok {
+			t.Fatalf("seed %d round %d: mmap load: ok=%v err=%v\nlog:\n%s", seed, round, ok, err, log.String())
+		}
+		got, err := uarch.ReplayMultiWorkers(context.Background(), mapped, cfgs, lim, 4)
+		if err != nil {
+			t.Fatalf("seed %d round %d: parallel replay over mapped trace: %v", seed, round, err)
+		}
+		if err := mapped.Close(); err != nil {
+			t.Fatalf("seed %d round %d: close mapped trace: %v", seed, round, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d round %d: mapped parallel replay diverges from in-memory replay", seed, round)
+		}
 	}
 }
 

@@ -165,13 +165,15 @@ func runTimed(ctx context.Context, p *prog.Program, t *dyntrace.Trace, cfg uarch
 
 // runTimedMulti times a program on every configuration in cfgs. When the
 // captured trace covers the window, the whole sweep fuses into a single
-// trace walk (uarch.ReplayMulti): the stream is decoded once and feeds
-// all pipelines. Otherwise it falls back to serial execution-driven
-// runs. Either way the results are bit-identical to len(cfgs) serial
-// runTimed calls, so checkpointed rows from older runs stay valid.
-func runTimedMulti(ctx context.Context, p *prog.Program, t *dyntrace.Trace, cfgs []uarch.Config, lim uarch.Limits) ([]uarch.Stats, error) {
+// trace walk (uarch.ReplayMultiWorkers): the stream is decoded once and
+// feeds all pipelines, with the configurations striped across workers
+// goroutines (1 = fully serial). Otherwise it falls back to serial
+// execution-driven runs. Either way the results are bit-identical to
+// len(cfgs) serial runTimed calls for every worker count, so
+// checkpointed rows from older runs stay valid.
+func runTimedMulti(ctx context.Context, p *prog.Program, t *dyntrace.Trace, cfgs []uarch.Config, lim uarch.Limits, workers int) ([]uarch.Stats, error) {
 	if traceCovers(t, lim.MaxInsts) {
-		return uarch.ReplayMultiContext(ctx, t, cfgs, lim)
+		return uarch.ReplayMultiWorkers(ctx, t, cfgs, lim, workers)
 	}
 	out := make([]uarch.Stats, len(cfgs))
 	for i, cfg := range cfgs {
@@ -306,6 +308,46 @@ func generateClone(prof *profile.Profile, opts Options) (*synth.Clone, error) {
 	}
 	fmt.Fprintf(opts.Log, "experiments: DEGRADED: %v\nexperiments: using the unvalidated clone of %s\n", err, prof.Name)
 	return synth.Generate(prof, synth.Config{})
+}
+
+// EffectiveWorkers reports the run's total worker budget: 1 unless
+// Parallel is set, else Options.Workers when positive, else
+// runtime.GOMAXPROCS(0). Every layer of parallelism in a run — the
+// forEach pool over grid cells and the per-cell fused-replay workers —
+// is carved out of this one number.
+func (o Options) EffectiveWorkers() int {
+	if !o.Parallel {
+		return 1
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WorkerBudget splits the run's total worker budget across a stage's two
+// levels of parallelism: outer goroutines iterate the stage's cells
+// (workloads) and each cell's fused replay stripes its configurations
+// over inner goroutines. Outer parallelism is preferred — whole cells
+// are perfectly independent — and inner workers only soak up budget the
+// cell count cannot use (e.g. 8 workers × 2 workloads → outer 2,
+// inner 4). outer×inner never exceeds the total, so a stage never
+// oversubscribes the requested worker count no matter how the grid is
+// shaped. Both results are ≥ 1.
+func WorkerBudget(opts Options, cells int) (outer, inner int) {
+	total := opts.EffectiveWorkers()
+	if total <= 1 {
+		return 1, 1
+	}
+	outer = total
+	if cells > 0 && outer > cells {
+		outer = cells
+	}
+	inner = total / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
 }
 
 // forEach runs fn over [0,n), optionally on a parallel worker pool sized
@@ -824,14 +866,17 @@ func Table3Context(ctx context.Context, pairs []*Pair, opts Options) ([]DesignRo
 	}
 	defer sr.close()
 	cells := make([]table3Cell, len(pairs))
-	if err := forEach(ctx, opts, len(pairs), func(i int) error {
+	outer, inner := WorkerBudget(opts, len(pairs))
+	fopts := opts
+	fopts.Workers = outer
+	if err := forEach(ctx, fopts, len(pairs), func(i int) error {
 		pr := pairs[i]
 		return stageCell(sr, pr.Name, &cells[i], func() error {
-			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim)
+			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
-			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim)
+			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}

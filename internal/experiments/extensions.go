@@ -56,14 +56,17 @@ func PredictorSweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]
 		return nil, err
 	}
 	defer sr.close()
-	err = forEach(ctx, opts, len(pairs), func(i int) error {
+	outer, inner := WorkerBudget(opts, len(pairs))
+	fopts := opts
+	fopts.Workers = outer
+	err = forEach(ctx, fopts, len(pairs), func(i int) error {
 		pr := pairs[i]
 		return stageCell(sr, pr.Name, &cells[i], func() error {
-			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim)
+			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
-			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim)
+			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
@@ -153,14 +156,17 @@ func PrefetchStudyContext(ctx context.Context, pairs []*Pair, opts Options) ([]P
 	defer sr.close()
 	rows := make([]PrefetchRow, len(pairs))
 	cfgs := []uarch.Config{off, on}
-	err = forEach(ctx, opts, len(pairs), func(i int) error {
+	outer, inner := WorkerBudget(opts, len(pairs))
+	fopts := opts
+	fopts.Workers = outer
+	err = forEach(ctx, fopts, len(pairs), func(i int) error {
 		pr := pairs[i]
 		return stageCell(sr, pr.Name, &rows[i], func() error {
-			r, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim)
+			r, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
-			c, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim)
+			c, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
@@ -229,14 +235,17 @@ func L2SweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]L2Row, 
 		return nil, err
 	}
 	defer sr.close()
-	err = forEach(ctx, opts, len(pairs), func(i int) error {
+	outer, inner := WorkerBudget(opts, len(pairs))
+	fopts := opts
+	fopts.Workers = outer
+	err = forEach(ctx, fopts, len(pairs), func(i int) error {
 		pr := pairs[i]
 		return stageCell(sr, pr.Name, &cells[i], func() error {
-			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim)
+			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
-			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim)
+			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}

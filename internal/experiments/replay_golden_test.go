@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -121,6 +122,18 @@ func TestReplayMultiGolden28(t *testing.T) {
 			}
 			if !reflect.DeepEqual(fused[i], serial) {
 				t.Errorf("%s %s: fused replay diverges from serial", name, cfg.Name)
+			}
+		}
+		// The parallel walk over the same grid must be bit-identical too:
+		// 4 workers stripe the 28 configs (worker w owns configs w, w+4, …)
+		// while a producer goroutine decodes each chunk exactly once.
+		par, err := uarch.ReplayMultiWorkers(context.Background(), tr, cfgs, lim, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range cfgs {
+			if !reflect.DeepEqual(par[i], fused[i]) {
+				t.Errorf("%s %s: parallel replay diverges from fused", name, cfg.Name)
 			}
 		}
 	}

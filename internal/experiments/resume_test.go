@@ -123,6 +123,87 @@ func TestResumeByteIdentical(t *testing.T) {
 	}
 }
 
+// renderTable3 renders the Table 3 stage (per-workload rows plus
+// summaries) to text for byte-for-byte comparison across runs.
+func renderTable3(ctx context.Context, opts Options) (string, error) {
+	pairs, err := PrepareContext(ctx, opts)
+	if err != nil {
+		return "", err
+	}
+	rows, sums, err := Table3Context(ctx, pairs, opts)
+	if err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, sums)
+	PrintFig8and9(&buf, rows)
+	return buf.String(), nil
+}
+
+// TestResumeParallelTable3ByteIdentical interrupts a fully parallel
+// Table 3 run mid-stage — outer forEach workers iterating workloads,
+// inner fused-replay workers striping the configs — and resumes it with
+// a different worker split. Both the interrupted run's checkpoints and
+// the resumed run's fresh cells must compose to output byte-identical
+// to a serial uninterrupted reference: the parallel walk never
+// checkpoints a torn cell (workers drain before stageCell records), and
+// the worker split never leaks into results.
+func TestResumeParallelTable3ByteIdentical(t *testing.T) {
+	// Reference: serial, uninterrupted.
+	stA, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := renderTable3(context.Background(), resumeOpts(stA))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted parallel run: cancel as soon as the first table3 cell
+	// lands, with 4 workers split across 2 workloads × 6 configs.
+	stB, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	opts := resumeOpts(stB)
+	opts.Parallel = true
+	opts.Workers = 4
+	opts.Progress = func(ev Event) {
+		if ev.Stage == "table3" && ev.Cell != "" {
+			once.Do(cancel)
+		}
+	}
+	if _, err := renderTable3(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: want context.Canceled, got %v", err)
+	}
+
+	// Resume with a different split (3 workers) — checkpointed cells from
+	// the 4-worker run must splice seamlessly with recomputed ones.
+	opts = resumeOpts(stB)
+	opts.Parallel = true
+	opts.Workers = 3
+	opts.Resume = true
+	var cachedCells int
+	opts.Progress = func(ev Event) {
+		if ev.Stage == "table3" && ev.Cell != "" && ev.Cached {
+			cachedCells++
+		}
+	}
+	got, err := renderTable3(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("parallel interrupt+resume differs from serial run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	if cachedCells == 0 {
+		t.Fatal("resumed run reused no checkpointed table3 cells")
+	}
+}
+
 // TestSecondRunAllCached re-runs the pipeline against a warm store
 // without Resume: traces and profiles still come from the store (the
 // artifact cache is independent of checkpoint reuse).

@@ -1,8 +1,11 @@
 package uarch
 
 import (
+	"context"
 	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"perfclone/internal/dyntrace"
@@ -70,6 +73,120 @@ func TestReplayMultiMatchesSerial(t *testing.T) {
 		}
 		if !reflect.DeepEqual(fused[i], serial) {
 			t.Errorf("%s: fused stats differ from serial replay", cfg.Name)
+		}
+	}
+	// The parallel walk must stay bit-identical for every worker count,
+	// including counts that do not divide the config count and counts
+	// larger than it (clamped).
+	for _, workers := range []int{2, 3, len(cfgs), len(cfgs) + 5} {
+		par, err := ReplayMultiWorkers(context.Background(), tr, cfgs, lim, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, cfg := range cfgs {
+			if !reflect.DeepEqual(par[i], fused[i]) {
+				t.Errorf("workers=%d %s: parallel stats differ from serial fused replay", workers, cfg.Name)
+			}
+		}
+	}
+}
+
+// TestReplayMultiWorkersRace runs several parallel fused replays of the
+// same trace concurrently — the shape a parallel Table 3 run produces,
+// where forEach workers each launch a multi-worker walk over traces
+// sharing a decode cache. Run under -race this checks the
+// producer/barrier/worker topology and the single-flight decode cache;
+// the result comparison checks that concurrency never leaks between
+// pipelines.
+func TestReplayMultiWorkersRace(t *testing.T) {
+	w, err := workloads.ByName("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build()
+	tr, err := dyntrace.Capture(p, 90_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := multiConfigs()
+	lim := Limits{Warmup: 20_000, MaxInsts: 80_000}
+	want, err := ReplayMulti(tr, cfgs, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const replays = 4
+	got := make([][]Stats, replays)
+	errs := make([]error, replays)
+	var wg sync.WaitGroup
+	for r := 0; r < replays; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			got[r], errs[r] = ReplayMultiWorkers(context.Background(), tr, cfgs, lim, 1+r)
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < replays; r++ {
+		if errs[r] != nil {
+			t.Fatalf("replay %d: %v", r, errs[r])
+		}
+		if !reflect.DeepEqual(got[r], want) {
+			t.Errorf("replay %d (workers=%d): stats differ from serial fused replay", r, 1+r)
+		}
+	}
+}
+
+// pollCancelCtx reports Canceled after its Err method has been polled
+// limit times — a deterministic way to cancel the walk mid-trace, since
+// the producer polls Err exactly once per chunk.
+type pollCancelCtx struct {
+	context.Context
+	polls atomic.Int32
+	limit int32
+}
+
+func (c *pollCancelCtx) Err() error {
+	if c.polls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestReplayMultiWorkersCancelDrains: cancelling mid-walk must return
+// ctx.Err() with no stats, for both the serial and parallel walks, and
+// the parallel walk must have joined every worker before returning (the
+// race detector would flag a straggler still consuming a chunk buffer
+// while the test goroutine reuses the trace).
+func TestReplayMultiWorkersCancelDrains(t *testing.T) {
+	w, err := workloads.ByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Build()
+	// >2 chunks so a 2-poll cancel lands strictly mid-trace.
+	tr, err := dyntrace.Capture(p, 3*65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := multiConfigs()
+	lim := Limits{MaxInsts: tr.Insts()}
+	for _, workers := range []int{1, 3} {
+		ctx := &pollCancelCtx{Context: context.Background(), limit: 2}
+		st, err := ReplayMultiWorkers(ctx, tr, cfgs, lim, workers)
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		if st != nil {
+			t.Fatalf("workers=%d: cancelled walk returned stats", workers)
+		}
+		// The trace must be fully reusable immediately: a clean replay
+		// right after the drain returns complete, correct stats.
+		clean, err := ReplayMultiWorkers(context.Background(), tr, cfgs[:1], lim, 1)
+		if err != nil {
+			t.Fatalf("workers=%d: post-cancel replay: %v", workers, err)
+		}
+		if clean[0].Insts == 0 {
+			t.Fatalf("workers=%d: post-cancel replay retired no instructions", workers)
 		}
 	}
 }

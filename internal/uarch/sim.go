@@ -2,7 +2,6 @@ package uarch
 
 import (
 	"context"
-	"fmt"
 
 	"perfclone/internal/bpred"
 	"perfclone/internal/cache"
@@ -285,135 +284,6 @@ func ReplayContext(ctx context.Context, t *dyntrace.Trace, cfg Config, lim Limit
 		return Stats{}, err
 	}
 	return res[0], nil
-}
-
-// decodeTable is the per-trace decode product ReplayMulti memoizes on
-// the trace (dyntrace.Trace.DecodeCache): a TraceInst template per
-// static instruction (everything but Addr and Taken is static) plus the
-// memory-op flags the chunk decoder needs to pair static ids with the
-// packed address stream. Building it is O(statics) and happens once per
-// trace, no matter how many sweeps replay it.
-type decodeTable struct {
-	tmpl  []TraceInst
-	isMem []bool
-}
-
-func decodeTableFor(t *dyntrace.Trace) *decodeTable {
-	return t.DecodeCache(func() any {
-		statics := t.Statics()
-		dt := &decodeTable{
-			tmpl:  make([]TraceInst, len(statics)),
-			isMem: make([]bool, len(statics)),
-		}
-		for i := range statics {
-			st := &statics[i]
-			dt.tmpl[i] = TraceInst{
-				PC:     st.PC,
-				Class:  st.Class,
-				Dest:   st.Dest,
-				Src1:   st.Src1,
-				Src2:   st.Src2,
-				Branch: st.Branch,
-				Jump:   st.Jump,
-				IsMem:  st.Mem,
-			}
-			dt.isMem[i] = st.Mem
-		}
-		return dt
-	}).(*decodeTable)
-}
-
-// ReplayMulti times one captured trace on every configuration in cfgs,
-// decoding each streamChunk of TraceInst records once and feeding it to
-// all pipelines in lockstep. Each config keeps its own independent Sim,
-// and the chunk boundaries are identical to serial Replay's, so the
-// returned Stats are bit-identical to len(cfgs) serial Replay calls —
-// the decode cost (static-id stream, address stream, taken bitset,
-// template expansion) is simply amortized N ways. This is what makes
-// wide config sweeps (Table 3's design changes, the predictor and L2
-// sweeps) cost one trace walk instead of N.
-func ReplayMulti(t *dyntrace.Trace, cfgs []Config, lim Limits) ([]Stats, error) {
-	return ReplayMultiContext(context.Background(), t, cfgs, lim)
-}
-
-// ReplayMultiContext is ReplayMulti with cooperative cancellation,
-// polling ctx once per chunk across all configs.
-func ReplayMultiContext(ctx context.Context, t *dyntrace.Trace, cfgs []Config, lim Limits) ([]Stats, error) {
-	sims := make([]*Sim, len(cfgs))
-	for i, cfg := range cfgs {
-		s, err := newSim(cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.warmup = lim.Warmup
-		sims[i] = s
-	}
-	n := t.Insts()
-	if lim.MaxInsts > 0 && n > lim.MaxInsts {
-		n = lim.MaxInsts
-	}
-	dt := decodeTableFor(t)
-	takenBits := t.TakenBits()
-	if uint64(len(takenBits))*64 < n {
-		return nil, fmt.Errorf("uarch: replay %s: taken bitset has %d words, need %d for %d instructions",
-			t.Program().Name, len(takenBits), (n+63)/64, n)
-	}
-
-	// The cursor streams both dynamic columns in chunk-sized bites: on a
-	// zero-copy (v2) trace it varint-decodes straight out of the mmap,
-	// on a captured trace it returns aliasing subslices. Either way a
-	// malformed column surfaces as a validation error here, not a panic.
-	cur := t.NewCursor()
-	sidBuf := make([]uint32, streamChunk)
-	addrBuf := make([]uint64, streamChunk)
-	chunk := make([]TraceInst, streamChunk)
-	for base := uint64(0); base < n; {
-		c := n - base
-		if c > streamChunk {
-			c = streamChunk
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		sids, err := cur.NextSIDs(sidBuf[:c])
-		if err != nil {
-			return nil, fmt.Errorf("uarch: replay: %w", err)
-		}
-		nmem := 0
-		for _, sid := range sids {
-			if int(sid) >= len(dt.isMem) {
-				return nil, fmt.Errorf("uarch: replay %s: static id %d out of range (table has %d entries)",
-					t.Program().Name, sid, len(dt.isMem))
-			}
-			if dt.isMem[sid] {
-				nmem++
-			}
-		}
-		addrs, err := cur.NextAddrs(addrBuf[:nmem])
-		if err != nil {
-			return nil, fmt.Errorf("uarch: replay: %w", err)
-		}
-		mi := 0
-		for k, sid := range sids {
-			ti := dt.tmpl[sid]
-			if dt.isMem[sid] {
-				ti.Addr = addrs[mi]
-				mi++
-			}
-			i := base + uint64(k)
-			ti.Taken = takenBits[i>>6]>>(i&63)&1 == 1
-			chunk[k] = ti
-		}
-		for _, s := range sims {
-			s.consume(chunk[:c])
-		}
-		base += c
-	}
-	out := make([]Stats, len(sims))
-	for i, s := range sims {
-		out[i] = s.finish()
-	}
-	return out, nil
 }
 
 // RunTrace times a synthetic instruction stream instead of a program: gen
