@@ -6,7 +6,7 @@
 //
 //	clonegen -workload crc32 [-o clone.c] [-blocks N] [-iters N] [-seed N]
 //	         [-disasm] [-validate] [-tolerance F] [-max-repair N]
-//	         [-report FILE]
+//	         [-report FILE] [-stage-timeout D] [-task-retries N] [-watchdog D]
 //
 // With -validate, the generated clone is re-profiled and compared
 // against the target profile attribute by attribute (instruction mix,
@@ -17,17 +17,31 @@
 // structured JSON report, and a clone that never passes is an error
 // (exit 1) — nothing is emitted. -tolerance scales the default
 // per-attribute tolerances uniformly (>1 loosens, <1 tightens).
+//
+// The profile and generate steps run as supervised tasks
+// (internal/supervise): -stage-timeout bounds each step's wall clock
+// (expiry exits 124), -task-retries grants a failed or panicked step
+// extra attempts, and -watchdog kills and retries a step whose
+// heartbeat stays quiet that long. Exit codes: 0 on success, 1 on
+// error, 2 on usage errors, 124 when a -stage-timeout budget expired,
+// 130 when interrupted.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"perfclone/internal/codegen"
 	"perfclone/internal/fidelity"
 	"perfclone/internal/profile"
+	"perfclone/internal/supervise"
 	"perfclone/internal/synth"
 	"perfclone/internal/workloads"
 )
@@ -41,6 +55,8 @@ type options struct {
 	tolerance                           float64
 	maxRepair                           int
 	report                              string
+	stageTimeout, watchdog              time.Duration
+	taskRetries                         int
 }
 
 func main() {
@@ -59,6 +75,9 @@ func main() {
 	flag.Float64Var(&o.tolerance, "tolerance", 0, "scale the default fidelity tolerances uniformly (>1 loosens, <1 tightens)")
 	flag.IntVar(&o.maxRepair, "max-repair", 0, "regeneration attempts after a failed check (default 3, negative = none)")
 	flag.StringVar(&o.report, "report", "", "write the JSON fidelity report to this file (requires -validate)")
+	flag.DurationVar(&o.stageTimeout, "stage-timeout", 0, "wall-clock budget per step (0 = unbounded; expiry exits 124)")
+	flag.IntVar(&o.taskRetries, "task-retries", 0, "extra attempts for a failed or panicked step")
+	flag.DurationVar(&o.watchdog, "watchdog", 0, "kill and retry a step whose heartbeat stays quiet this long (0 = off)")
 	flag.Parse()
 
 	if o.tolerance < 0 {
@@ -69,15 +88,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "clonegen: -report requires -validate")
 		os.Exit(2)
 	}
-	if err := run(o); err != nil {
+	if o.stageTimeout < 0 || o.watchdog < 0 {
+		fmt.Fprintln(os.Stderr, "clonegen: -stage-timeout and -watchdog must be >= 0")
+		os.Exit(2)
+	}
+	if o.taskRetries < 0 {
+		fmt.Fprintln(os.Stderr, "clonegen: -task-retries must be >= 0")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	super := supervise.New(supervise.Options{Log: os.Stderr, Wedge: os.Getenv("PERFCLONE_WEDGE")})
+	err := run(ctx, o, super)
+	if o.stageTimeout > 0 || o.watchdog > 0 || o.taskRetries > 0 {
+		fmt.Fprintln(os.Stderr, super.Summary())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "clonegen:", err)
+		switch {
+		case errors.Is(err, supervise.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+			os.Exit(124)
+		case errors.Is(err, context.Canceled):
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
 
 // loadOrCollect obtains the workload profile from a saved JSON file or by
 // profiling a named workload.
-func loadOrCollect(name, profIn string, maxInsts uint64) (*profile.Profile, error) {
+func loadOrCollect(ctx context.Context, name, profIn string, maxInsts uint64) (*profile.Profile, error) {
 	if profIn != "" {
 		f, err := os.Open(profIn)
 		if err != nil {
@@ -90,21 +131,21 @@ func loadOrCollect(name, profIn string, maxInsts uint64) (*profile.Profile, erro
 	if err != nil {
 		return nil, err
 	}
-	return profile.Collect(w.Build(), profile.Options{MaxInsts: maxInsts})
+	return profile.CollectContext(ctx, w.Build(), profile.Options{MaxInsts: maxInsts})
 }
 
 // generate synthesizes the clone, through the closed fidelity loop when
 // -validate is set. The JSON report is written even when the gate fails,
 // so a CI run has the artifact that explains its red build.
-func generate(o options, prof *profile.Profile, cfg synth.Config) (*synth.Clone, error) {
+func generate(ctx context.Context, o options, prof *profile.Profile, cfg synth.Config) (*synth.Clone, error) {
 	if !o.validate {
-		return synth.Generate(prof, cfg)
+		return synth.GenerateContext(ctx, prof, cfg)
 	}
 	fo := fidelity.Options{MaxRepair: o.maxRepair, Log: os.Stderr}
 	if o.tolerance > 0 {
 		fo.Tol = fidelity.DefaultTolerances().Scale(o.tolerance)
 	}
-	clone, rep, err := fidelity.Generate(prof, cfg, fo)
+	clone, rep, err := fidelity.GenerateContext(ctx, prof, cfg, fo)
 	if o.report != "" && rep != nil {
 		raw, jerr := json.MarshalIndent(rep, "", "  ")
 		if jerr == nil {
@@ -117,8 +158,18 @@ func generate(o options, prof *profile.Profile, cfg synth.Config) (*synth.Clone,
 	return clone, err
 }
 
-func run(o options) error {
-	prof, err := loadOrCollect(o.name, o.profIn, o.maxInsts)
+func run(ctx context.Context, o options, super *supervise.Supervisor) error {
+	spec := func(step string) supervise.Spec {
+		return supervise.Spec{Name: step, Retries: o.taskRetries, Quiet: o.watchdog}
+	}
+	var prof *profile.Profile
+	pctx, cancelProfile := supervise.StageContext(ctx, "profile", o.stageTimeout)
+	err := super.Run(pctx, spec("profile/"+o.name), func(tctx context.Context) error {
+		var perr error
+		prof, perr = loadOrCollect(tctx, o.name, o.profIn, o.maxInsts)
+		return perr
+	})
+	cancelProfile()
 	if err != nil {
 		return err
 	}
@@ -138,11 +189,18 @@ func run(o options) error {
 			return err
 		}
 	}
-	clone, err := generate(o, prof, synth.Config{
-		TargetBlocks: o.blocks,
-		Iterations:   o.iters,
-		Seed:         o.seed,
+	var clone *synth.Clone
+	gctx, cancelGenerate := supervise.StageContext(ctx, "generate", o.stageTimeout)
+	err = super.Run(gctx, spec("generate/"+o.name), func(tctx context.Context) error {
+		var gerr error
+		clone, gerr = generate(tctx, o, prof, synth.Config{
+			TargetBlocks: o.blocks,
+			Iterations:   o.iters,
+			Seed:         o.seed,
+		})
+		return gerr
 	})
+	cancelGenerate()
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 //	            [-workloads a,b,c] [-parallel] [-insts N]
 //	            [-store DIR] [-resume] [-strict-store] [-doctor] [-progress]
 //	            [-fidelity] [-strict-fidelity] [-fidelity-tolerance F]
+//	            [-stage-timeout D] [-task-retries N] [-watchdog D]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -fidelity, every generated clone passes through the closed-loop
@@ -27,9 +28,18 @@
 // re-integrity-checked, failures are quarantined, stale temp files and
 // locks are swept — and exits without running experiments.
 //
+// Every experiment stage and grid cell runs under the supervision
+// substrate (internal/supervise): -stage-timeout bounds each stage's
+// wall clock (expiry exits 124), -task-retries grants failed, panicked,
+// or stuck-killed cells extra attempts, and -watchdog arms a per-task
+// heartbeat monitor that kills and retries a worker whose heartbeat
+// stays quiet that long. Per-task outcomes are aggregated into one
+// greppable "supervise: tasks ..." summary line on stderr.
+//
 // Exit codes: 0 on success (including a -doctor pass that quarantined
-// artifacts — the repair succeeded), 1 on error, 2 on usage errors,
-// 130 when interrupted.
+// artifacts — the repair succeeded, and a run whose wedged or panicked
+// cells all recovered), 1 on error, 2 on usage errors, 124 when a
+// -stage-timeout budget expired, 130 when interrupted.
 package main
 
 import (
@@ -47,6 +57,7 @@ import (
 
 	"perfclone/internal/experiments"
 	"perfclone/internal/store"
+	"perfclone/internal/supervise"
 )
 
 func main() {
@@ -63,6 +74,9 @@ func main() {
 	fidelity := flag.Bool("fidelity", false, "gate every clone on the closed-loop fidelity check (failures degrade with a warning)")
 	strictFidelity := flag.Bool("strict-fidelity", false, "abort when a clone fails the fidelity gate instead of degrading (implies -fidelity)")
 	fidelityTol := flag.Float64("fidelity-tolerance", 0, "scale the default fidelity tolerances uniformly (>1 loosens, <1 tightens)")
+	stageTimeout := flag.Duration("stage-timeout", 0, "wall-clock budget per experiment stage (0 = unbounded; expiry exits 124)")
+	taskRetries := flag.Int("task-retries", 0, "extra attempts for a failed, panicked, or stuck-killed grid cell")
+	watchdog := flag.Duration("watchdog", 0, "kill and retry a task whose heartbeat stays quiet this long (0 = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -73,6 +87,14 @@ func main() {
 	}
 	if *workers < 0 {
 		fmt.Fprintln(os.Stderr, "experiments: -workers must be >= 0 (0 = GOMAXPROCS)")
+		os.Exit(2)
+	}
+	if *stageTimeout < 0 || *watchdog < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -stage-timeout and -watchdog must be >= 0")
+		os.Exit(2)
+	}
+	if *taskRetries < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -task-retries must be >= 0")
 		os.Exit(2)
 	}
 
@@ -126,9 +148,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One Supervisor spans the whole run so the summary line covers every
+	// stage; PERFCLONE_WEDGE lets subprocess tests wedge a named task's
+	// first attempt to exercise the watchdog end to end.
+	super := supervise.New(supervise.Options{Log: os.Stderr, Wedge: os.Getenv("PERFCLONE_WEDGE")})
 	opts := experiments.Options{
 		Parallel: *parallel, Workers: *workers, TimingInsts: *insts, Resume: *resume,
 		Fidelity: *fidelity, StrictFidelity: *strictFidelity, FidelityTolerance: *fidelityTol,
+		StageTimeout: *stageTimeout, TaskRetries: *taskRetries, Watchdog: *watchdog,
+		Supervisor: super,
 	}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
@@ -183,7 +211,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "store: traces %d hits / %d misses; profiles %d hits / %d misses; %d quarantined\n",
 			c.TraceHits, c.TraceMisses, c.ProfileHits, c.ProfileMisses, c.Quarantined)
 	}
+	fmt.Fprintln(os.Stderr, super.Summary())
 	if err != nil {
+		if errors.Is(err, supervise.ErrDeadline) || errors.Is(err, context.DeadlineExceeded) {
+			done, total := tr.cells()
+			fmt.Fprintf(os.Stderr, "experiments: stage deadline exceeded (%v); resumable at %d/%d cells\n",
+				*stageTimeout, done, total)
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			finishProfiles()
+			os.Exit(124)
+		}
 		if errors.Is(err, context.Canceled) {
 			done, total := tr.cells()
 			fmt.Fprintf(os.Stderr, "experiments: interrupted; resumable at %d/%d cells", done, total)

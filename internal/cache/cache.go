@@ -6,6 +6,8 @@ package cache
 import (
 	"context"
 	"fmt"
+
+	"perfclone/internal/supervise"
 )
 
 // Policy selects the replacement policy.
@@ -483,7 +485,8 @@ const tagBatch = 512
 // AccessStreamContext is AccessStream with cooperative cancellation: a
 // full sweep replays len(addrs)×len(caches) references, so long grids
 // poll ctx every accessStreamCheckEvery references and abandon the sweep
-// (returning ctx.Err()) once it is cancelled.
+// (returning the context's cancellation cause) once it is cancelled.
+// The same cadence ticks any supervision heartbeat carried by ctx.
 //
 // Each cache's replay runs in tagBatch-lane blocks: the pure per-address
 // math — tag extraction, set indexing, store-bit expansion — fills
@@ -497,13 +500,19 @@ func (rs *ReplaySet) AccessStreamContext(ctx context.Context, addrs []uint64, st
 		return fmt.Errorf("cache: store bitset has %d words for %d references, need %d", len(storeBits), len(addrs), need)
 	}
 	done := ctx.Done()
+	tick := supervise.TickerFrom(ctx)
 	var tags, sets [tagBatch]uint64
 	var writes [tagBatch]bool
 	for _, c := range rs.caches {
 		shift, mask := c.lineShift, c.setMask
 		for base := 0; base < len(addrs); base += tagBatch {
-			if done != nil && base%accessStreamCheckEvery == 0 && ctx.Err() != nil {
-				return ctx.Err()
+			if base%accessStreamCheckEvery == 0 {
+				if done != nil && ctx.Err() != nil {
+					return supervise.Cause(ctx)
+				}
+				if tick != nil {
+					tick()
+				}
 			}
 			blk := addrs[base:]
 			if len(blk) > tagBatch {

@@ -25,6 +25,7 @@
 package dyntrace
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,7 @@ import (
 	"perfclone/internal/funcsim"
 	"perfclone/internal/isa"
 	"perfclone/internal/prog"
+	"perfclone/internal/supervise"
 )
 
 // Static is the per-static-instruction metadata replayers need, computed
@@ -101,10 +103,21 @@ type Trace struct {
 // Capture executes p functionally (up to maxInsts dynamic instructions;
 // 0 = to completion) and records the dynamic stream.
 func Capture(p *prog.Program, maxInsts uint64) (*Trace, error) {
+	return CaptureContext(context.Background(), p, maxInsts)
+}
+
+// CaptureContext is Capture with cooperative cancellation: the batch
+// observer polls ctx once per event batch, aborting the capture with the
+// context's cancellation cause, and ticks any supervision heartbeat
+// carried by ctx at the same cadence so a long capture under a watchdog
+// never reads as a wedged task.
+func CaptureContext(ctx context.Context, p *prog.Program, maxInsts uint64) (*Trace, error) {
 	m, err := funcsim.New(p)
 	if err != nil {
 		return nil, err
 	}
+	tick := supervise.TickerFrom(ctx)
+	watched := ctx.Done() != nil || tick != nil
 	static, base := buildStatic(p)
 	hint := maxInsts
 	if hint == 0 || hint > 1<<20 {
@@ -117,6 +130,14 @@ func Capture(p *prog.Program, maxInsts uint64) (*Trace, error) {
 		taken:  make([]uint64, 0, (hint+63)/64),
 	}
 	obs := func(events []funcsim.Event) error {
+		if watched {
+			if err := supervise.Cause(ctx); err != nil {
+				return err
+			}
+			if tick != nil {
+				tick()
+			}
+		}
 		for k := range events {
 			ev := &events[k]
 			sid := base[ev.Block] + uint32(ev.Index)

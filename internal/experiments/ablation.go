@@ -10,6 +10,7 @@ import (
 	"perfclone/internal/funcsim"
 	"perfclone/internal/prog"
 	"perfclone/internal/stats"
+	"perfclone/internal/supervise"
 	"perfclone/internal/synth"
 )
 
@@ -114,6 +115,8 @@ func Ablation(pairs []*Pair, opts Options) ([]AblationRow, error) {
 // checkpointing (stage "ablation").
 func AblationContext(ctx context.Context, pairs []*Pair, opts Options) ([]AblationRow, error) {
 	opts = opts.withDefaults()
+	ctx, cancelStage := stageContext(ctx, opts, "ablation")
+	defer cancelStage()
 	train := baseline.TrainingConfig{
 		Cache:     cache.Config{Size: 16 << 10, Assoc: 2, LineSize: 32},
 		Predictor: "gap",
@@ -128,7 +131,7 @@ func AblationContext(ctx context.Context, pairs []*Pair, opts Options) ([]Ablati
 	rows := make([]AblationRow, len(pairs))
 	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		return stageCell(sr, pr.Name, &rows[i], func() error {
+		return stageCell(ctx, sr, pr.Name, &rows[i], func(tctx context.Context) error {
 			bl, targets, err := baseline.Generate(pr.Real, pr.Profile, train, synth.Config{})
 			if err != nil {
 				return err
@@ -136,19 +139,19 @@ func AblationContext(ctx context.Context, pairs []*Pair, opts Options) ([]Ablati
 			// The baseline clone is generated here, so its trace is captured
 			// here too — once, then shared by the cache sweep, the predictor
 			// sweep, and the training-point check below.
-			blTrace, err := dyntrace.Capture(bl.Program, traceBudget(opts))
+			blTrace, err := dyntrace.CaptureContext(tctx, bl.Program, traceBudget(opts))
 			if err != nil {
 				return err
 			}
-			realMPI, err := cacheMPIFor(ctx, pr.Real, pr.RealTrace, cfgs, opts.TimingInsts*2)
+			realMPI, err := cacheMPIFor(tctx, pr.Real, pr.RealTrace, cfgs, opts.TimingInsts*2)
 			if err != nil {
 				return err
 			}
-			cloneMPI, err := cacheMPIFor(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, opts.TimingInsts*2)
+			cloneMPI, err := cacheMPIFor(tctx, pr.Clone.Program, pr.CloneTrace, cfgs, opts.TimingInsts*2)
 			if err != nil {
 				return err
 			}
-			blMPI, err := cacheMPIFor(ctx, bl.Program, blTrace, cfgs, opts.TimingInsts*2)
+			blMPI, err := cacheMPIFor(tctx, bl.Program, blTrace, cfgs, opts.TimingInsts*2)
 			if err != nil {
 				return err
 			}
@@ -173,9 +176,10 @@ func AblationContext(ctx context.Context, pairs []*Pair, opts Options) ([]Ablati
 
 			var cloneMAE, blMAE float64
 			for _, pn := range ablationPredictors {
-				if err := ctx.Err(); err != nil {
+				if err := supervise.Cause(tctx); err != nil {
 					return err
 				}
+				supervise.Beat(tctx)
 				realM, err := mispredFor(pr.Real, pr.RealTrace, pn, opts.TimingInsts)
 				if err != nil {
 					return err

@@ -59,7 +59,7 @@ func chaosPlan(seed uint64) faultinject.Plan {
 // budgets, serial execution (so the injected fault sequence and the log
 // are reproducible), warnings captured instead of spamming stderr.
 func chaosOpts(st *store.Store, log *bytes.Buffer) Options {
-	return Options{
+	o := Options{
 		Workloads:    []string{"crc32", "qsort"},
 		ProfileInsts: 200_000,
 		TimingWarmup: 20_000,
@@ -67,6 +67,19 @@ func chaosOpts(st *store.Store, log *bytes.Buffer) Options {
 		Store:        st,
 		Log:          log,
 	}
+	// PERFCLONE_CHAOS_WATCHDOG layers the supervision substrate over the
+	// fault storm: every cell runs under a heartbeat watchdog with a
+	// retry budget, and the byte-identity assertions below must still
+	// hold — supervision may kill and re-run work, never change results.
+	if env := os.Getenv("PERFCLONE_CHAOS_WATCHDOG"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			panic("PERFCLONE_CHAOS_WATCHDOG: " + err.Error())
+		}
+		o.Watchdog = d
+		o.TaskRetries = 2
+	}
+	return o
 }
 
 // corruptOneArtifact flips a byte in the middle of the lexically first

@@ -27,6 +27,7 @@ import (
 	"perfclone/internal/prog"
 	"perfclone/internal/stats"
 	"perfclone/internal/store"
+	"perfclone/internal/supervise"
 	"perfclone/internal/synth"
 	"perfclone/internal/uarch"
 	"perfclone/internal/workloads"
@@ -79,6 +80,29 @@ type Options struct {
 	// FidelityTolerance uniformly scales the default per-attribute
 	// tolerances (0 = 1.0; >1 loosens, <1 tightens).
 	FidelityTolerance float64
+	// StageTimeout bounds each experiment stage's wall clock: a stage
+	// that exceeds it aborts with supervise.ErrDeadline as the context
+	// cause (cmd/experiments maps that to exit 124) instead of hanging
+	// the run. 0 = unbounded.
+	StageTimeout time.Duration
+	// TaskRetries gives every supervised task — a grid cell, a prepare
+	// step — this many extra attempts after a transient failure, a
+	// contained panic, or a watchdog kill. Retried attempts recompute
+	// from scratch (never from a partial result), so results stay
+	// deterministic. 0 = fail on the first error.
+	TaskRetries int
+	// Watchdog arms the stuck-task watchdog: a running task whose
+	// heartbeat — ticked by every hot loop in the pipeline at least once
+	// per 64 Ki instructions — stays silent this long is killed with
+	// supervise.ErrStuck as the cause and retried under TaskRetries. The
+	// quiet period must comfortably exceed one heartbeat interval on the
+	// slowest machine in play. 0 = disabled.
+	Watchdog time.Duration
+	// Supervisor aggregates per-task outcomes (ok / recovered / retried /
+	// stuck-killed / failed) across stages. cmd/experiments passes one so
+	// its run-summary line spans the whole run; nil gives each stage a
+	// private supervisor logging to Log.
+	Supervisor *supervise.Supervisor
 }
 
 // Event is one progress notification: a finished grid cell, or — with
@@ -201,6 +225,8 @@ func Prepare(opts Options) ([]*Pair, error) {
 // deterministic, so the clone's program hash keys its trace stably.
 func PrepareContext(ctx context.Context, opts Options) ([]*Pair, error) {
 	opts = opts.withDefaults()
+	ctx, cancelStage := stageContext(ctx, opts, "prepare")
+	defer cancelStage()
 	sr, err := newStage(opts, "prepare", len(opts.Workloads))
 	if err != nil {
 		return nil, err
@@ -210,70 +236,83 @@ func PrepareContext(ctx context.Context, opts Options) ([]*Pair, error) {
 	err = forEach(ctx, opts, len(opts.Workloads), func(i int) error {
 		start := time.Now()
 		name := opts.Workloads[i]
-		w, err := workloads.ByName(name)
-		if err != nil {
-			return err
-		}
-		p := w.Build()
-		allCached := true
-
-		var prof *profile.Profile
-		var hash string
-		if opts.Store != nil {
-			hash = store.ProgramHash(p)
-			prof, _, err = opts.Store.LoadProfile(name, hash, opts.ProfileInsts)
+		var allCached bool
+		err := sr.super.Run(ctx, sr.spec(name), func(tctx context.Context) error {
+			pairs[i] = nil // a retried attempt rebuilds the pair from scratch
+			allCached = true
+			if testCellHook != nil {
+				testCellHook(tctx, sr.name, name)
+			}
+			w, err := workloads.ByName(name)
 			if err != nil {
 				return err
 			}
-		}
-		if prof == nil {
-			allCached = false
-			prof, err = profile.Collect(p, profile.Options{MaxInsts: opts.ProfileInsts})
-			if err != nil {
-				return fmt.Errorf("profile %s: %w", name, err)
-			}
+			p := w.Build()
+
+			var prof *profile.Profile
+			var hash string
 			if opts.Store != nil {
-				if err := opts.Store.SaveProfile(name, hash, opts.ProfileInsts, prof); err != nil {
+				hash = store.ProgramHash(p)
+				prof, _, err = opts.Store.LoadProfile(name, hash, opts.ProfileInsts)
+				if err != nil {
 					return err
 				}
 			}
-		}
-		clone, err := generateClone(prof, opts)
-		if err != nil {
-			return fmt.Errorf("clone %s: %w", name, err)
-		}
-
-		budget := traceBudget(opts)
-		capture := func(label string, tp *prog.Program) (*dyntrace.Trace, error) {
-			if opts.Store != nil {
-				t, ok, err := opts.Store.LoadTrace(label, tp, budget)
-				if err != nil || ok {
-					return t, err
+			if prof == nil {
+				allCached = false
+				prof, err = profile.CollectContext(tctx, p, profile.Options{MaxInsts: opts.ProfileInsts})
+				if err != nil {
+					return fmt.Errorf("profile %s: %w", name, err)
+				}
+				if opts.Store != nil {
+					if err := opts.Store.SaveProfile(name, hash, opts.ProfileInsts, prof); err != nil {
+						return err
+					}
 				}
 			}
-			allCached = false
-			t, err := dyntrace.Capture(tp, budget)
+			supervise.Beat(tctx)
+			clone, err := generateClone(tctx, prof, opts)
 			if err != nil {
-				return nil, fmt.Errorf("trace %s: %w", label, err)
+				return fmt.Errorf("clone %s: %w", name, err)
 			}
-			if opts.Store != nil {
-				if err := opts.Store.SaveTrace(label, t, budget); err != nil {
-					return nil, err
+
+			budget := traceBudget(opts)
+			capture := func(label string, tp *prog.Program) (*dyntrace.Trace, error) {
+				supervise.Beat(tctx)
+				if opts.Store != nil {
+					t, ok, err := opts.Store.LoadTrace(label, tp, budget)
+					if err != nil || ok {
+						return t, err
+					}
 				}
+				allCached = false
+				t, err := dyntrace.CaptureContext(tctx, tp, budget)
+				if err != nil {
+					return nil, fmt.Errorf("trace %s: %w", label, err)
+				}
+				if opts.Store != nil {
+					if err := opts.Store.SaveTrace(label, t, budget); err != nil {
+						return nil, err
+					}
+				}
+				return t, nil
 			}
-			return t, nil
-		}
-		rt, err := capture(name, p)
+			rt, err := capture(name, p)
+			if err != nil {
+				return err
+			}
+			ct, err := capture(name+"-clone", clone.Program)
+			if err != nil {
+				return err
+			}
+			pairs[i] = &Pair{
+				Name: name, Real: p, Profile: prof, Clone: clone,
+				RealTrace: rt, CloneTrace: ct,
+			}
+			return nil
+		})
 		if err != nil {
 			return err
-		}
-		ct, err := capture(name+"-clone", clone.Program)
-		if err != nil {
-			return err
-		}
-		pairs[i] = &Pair{
-			Name: name, Real: p, Profile: prof, Clone: clone,
-			RealTrace: rt, CloneTrace: ct,
 		}
 		sr.emit(name, allCached && opts.Store != nil, time.Since(start))
 		return nil
@@ -287,15 +326,15 @@ func PrepareContext(ctx context.Context, opts Options) ([]*Pair, error) {
 // with the full report, and otherwise degrades — with a greppable
 // DEGRADED warning — to the deterministic ungated clone, so one
 // hard-to-fit workload cannot take down a 23-workload figure run.
-func generateClone(prof *profile.Profile, opts Options) (*synth.Clone, error) {
+func generateClone(ctx context.Context, prof *profile.Profile, opts Options) (*synth.Clone, error) {
 	if !opts.Fidelity && !opts.StrictFidelity {
-		return synth.Generate(prof, synth.Config{})
+		return synth.GenerateContext(ctx, prof, synth.Config{})
 	}
 	fo := fidelity.Options{}
 	if opts.FidelityTolerance > 0 {
 		fo.Tol = fidelity.DefaultTolerances().Scale(opts.FidelityTolerance)
 	}
-	clone, rep, err := fidelity.Generate(prof, synth.Config{}, fo)
+	clone, rep, err := fidelity.GenerateContext(ctx, prof, synth.Config{}, fo)
 	if err == nil {
 		if rep.Attempt > 1 {
 			fmt.Fprintf(opts.Log, "experiments: fidelity repaired %s on attempt %d (seed %d)\n",
@@ -303,11 +342,15 @@ func generateClone(prof *profile.Profile, opts Options) (*synth.Clone, error) {
 		}
 		return clone, nil
 	}
+	if supervise.Cause(ctx) != nil {
+		// A cancelled gate is not a fidelity failure; don't degrade, stop.
+		return nil, err
+	}
 	if opts.StrictFidelity {
 		return nil, err
 	}
 	fmt.Fprintf(opts.Log, "experiments: DEGRADED: %v\nexperiments: using the unvalidated clone of %s\n", err, prof.Name)
-	return synth.Generate(prof, synth.Config{})
+	return synth.GenerateContext(ctx, prof, synth.Config{})
 }
 
 // EffectiveWorkers reports the run's total worker budget: 1 unless
@@ -359,7 +402,9 @@ func WorkerBudget(opts Options, cells int) (outer, inner int) {
 // Cancelling ctx stops workers from claiming new cells; cells already
 // running finish (or abort at their own ctx poll) before forEach returns,
 // so a SIGINT drains cleanly and every completed cell has been
-// checkpointed. A cancelled run never returns nil.
+// checkpointed. A cancelled run never returns nil: it returns the
+// context's cancellation cause (context.Cause), so a stage-deadline or
+// watchdog sentinel survives the pool.
 func forEach(ctx context.Context, opts Options, n int, fn func(i int) error) error {
 	workers := opts.Workers
 	if workers <= 0 {
@@ -370,7 +415,7 @@ func forEach(ctx context.Context, opts Options, n int, fn func(i int) error) err
 	}
 	if !opts.Parallel || workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
+			if err := supervise.Cause(ctx); err != nil {
 				return err
 			}
 			if err := fn(i); err != nil {
@@ -404,16 +449,26 @@ func forEach(ctx context.Context, opts Options, n int, fn func(i int) error) err
 			return e
 		}
 	}
-	return ctx.Err()
+	return supervise.Cause(ctx)
+}
+
+// stageContext applies Options.StageTimeout to one stage: each stage
+// driver derives its own deadline context, so a budget bounds every
+// stage individually rather than the whole run. The returned cancel must
+// run when the stage ends.
+func stageContext(ctx context.Context, opts Options, name string) (context.Context, context.CancelFunc) {
+	return supervise.StageContext(ctx, name, opts.StageTimeout)
 }
 
 // stageRun tracks one experiment stage: its checkpoint log (when a store
-// is configured), completed-cell count, and wall time.
+// is configured), its task supervisor, completed-cell count, and wall
+// time.
 type stageRun struct {
 	opts  Options
 	name  string
 	total int
 	cp    *store.Checkpoint
+	super *supervise.Supervisor
 	start time.Time
 
 	mu   sync.Mutex
@@ -426,6 +481,10 @@ type stageRun struct {
 // recomputes and nothing is recorded, but the run completes.
 func newStage(opts Options, name string, total int) (*stageRun, error) {
 	sr := &stageRun{opts: opts, name: name, total: total, start: time.Now()}
+	sr.super = opts.Supervisor
+	if sr.super == nil {
+		sr.super = supervise.New(supervise.Options{Log: opts.Log})
+	}
 	if opts.Store != nil {
 		cp, err := opts.Store.OpenCheckpoint(name, opts.Resume)
 		switch {
@@ -477,17 +536,46 @@ func (sr *stageRun) close() {
 	}
 }
 
-// stageCell runs one grid cell with checkpoint reuse: a cell recorded by
-// a previous run is unmarshalled into out (byte-identical rows — JSON
-// round-trips float64 exactly); otherwise compute fills out and the
-// result is marked durable before the cell counts as done.
+// spec is the supervision contract for one of the stage's cells: task
+// names are "stage/cell" (the grain the wedge hook and the STUCK /
+// RECOVERED log lines use), with retries and watchdog taken from
+// Options.
+func (sr *stageRun) spec(cell string) supervise.Spec {
+	return supervise.Spec{
+		Name:    sr.name + "/" + cell,
+		Retries: sr.opts.TaskRetries,
+		Quiet:   sr.opts.Watchdog,
+	}
+}
+
+// testCellHook, when set by a test, runs at the top of every supervised
+// cell attempt (stage, cell, and attempt number via
+// supervise.AttemptFrom) — the seam for injecting panics and wedges into
+// specific cells.
+var testCellHook func(ctx context.Context, stage, cell string)
+
+// stageCell runs one grid cell as a supervised task with checkpoint
+// reuse: a cell recorded by a previous run is unmarshalled into out
+// (byte-identical rows — JSON round-trips float64 exactly); otherwise
+// compute fills out under supervision — panic containment, optional
+// watchdog, TaskRetries attempts — and the result is marked durable
+// before the cell counts as done. Every attempt starts from a zeroed
+// out, so a half-filled result from a failed or killed attempt can never
+// leak into a retry.
+//
+// The checkpoint append is deadline-fenced: once the stage context has
+// died, the cell returns the cancellation cause without marking, even if
+// compute returned success — inner work may have been cut short by a
+// cancellation the compute path swallowed, and a valid-CRC checkpoint
+// record must always describe a complete cell (an expired run leaves at
+// most a torn tail, which the JSONL loader drops).
 //
 // On a non-strict store both checkpoint directions degrade rather than
 // abort: a recorded row that does not unmarshal into T is discarded and
 // the cell recomputed, and a row that cannot be persisted is logged as
 // DEGRADED and the run continues (the cell would simply recompute after
 // a crash). Strict stores turn both into hard errors.
-func stageCell[T any](sr *stageRun, key string, out *T, compute func() error) error {
+func stageCell[T any](ctx context.Context, sr *stageRun, key string, out *T, compute func(ctx context.Context) error) error {
 	start := time.Now()
 	if sr.cp != nil {
 		if raw, ok := sr.cp.Done(key); ok {
@@ -500,15 +588,24 @@ func stageCell[T any](sr *stageRun, key string, out *T, compute func() error) er
 				return fmt.Errorf("experiments: checkpoint %s cell %s: %w", sr.name, key, err)
 			}
 			fmt.Fprintf(sr.opts.Log, "experiments: checkpoint %s cell %s: unusable row (%v); recomputing\n", sr.name, key, err)
-			var zero T // a failed unmarshal may have half-filled out
-			*out = zero
 		}
 	}
-	if err := compute(); err != nil {
+	err := sr.super.Run(ctx, sr.spec(key), func(tctx context.Context) error {
+		var zero T // an earlier attempt (or failed unmarshal) may have half-filled out
+		*out = zero
+		if testCellHook != nil {
+			testCellHook(tctx, sr.name, key)
+		}
+		return compute(tctx)
+	})
+	if err != nil {
 		return err
 	}
+	if cerr := supervise.Cause(ctx); cerr != nil {
+		return cerr
+	}
 	if sr.cp != nil {
-		if err := sr.cp.Mark(key, *out); err != nil {
+		if err := sr.cp.MarkContext(ctx, key, *out); err != nil {
 			if sr.strict() {
 				return err
 			}
@@ -576,11 +673,15 @@ func CacheMPIContext(ctx context.Context, p *prog.Program, cfgs []cache.Config, 
 		return nil, err
 	}
 	var insts uint64
+	tick := supervise.TickerFrom(ctx)
 	obs := func(ev *funcsim.Event) error {
 		insts++
 		if insts&(1<<16-1) == 0 {
-			if err := ctx.Err(); err != nil {
+			if err := supervise.Cause(ctx); err != nil {
 				return err
+			}
+			if tick != nil {
+				tick()
 			}
 		}
 		if ev.Inst.Op.IsMem() {
@@ -652,6 +753,8 @@ func Fig4(pairs []*Pair, opts Options) ([]Fig4Row, error) {
 // (stage "fig4", one cell per workload).
 func Fig4Context(ctx context.Context, pairs []*Pair, opts Options) ([]Fig4Row, error) {
 	opts = opts.withDefaults()
+	ctx, cancelStage := stageContext(ctx, opts, "fig4")
+	defer cancelStage()
 	cfgs := cache.Sweep28()
 	sr, err := newStage(opts, "fig4", len(pairs))
 	if err != nil {
@@ -661,12 +764,12 @@ func Fig4Context(ctx context.Context, pairs []*Pair, opts Options) ([]Fig4Row, e
 	rows := make([]Fig4Row, len(pairs))
 	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		return stageCell(sr, pr.Name, &rows[i], func() error {
-			real, err := cacheMPIFor(ctx, pr.Real, pr.RealTrace, cfgs, opts.TimingInsts*2)
+		return stageCell(ctx, sr, pr.Name, &rows[i], func(tctx context.Context) error {
+			real, err := cacheMPIFor(tctx, pr.Real, pr.RealTrace, cfgs, opts.TimingInsts*2)
 			if err != nil {
 				return err
 			}
-			clone, err := cacheMPIFor(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, opts.TimingInsts*2)
+			clone, err := cacheMPIFor(tctx, pr.Clone.Program, pr.CloneTrace, cfgs, opts.TimingInsts*2)
 			if err != nil {
 				return err
 			}
@@ -749,6 +852,8 @@ func Fig6and7(pairs []*Pair, opts Options) ([]BaseRow, error) {
 // checkpointing (stage "fig6and7").
 func Fig6and7Context(ctx context.Context, pairs []*Pair, opts Options) ([]BaseRow, error) {
 	opts = opts.withDefaults()
+	ctx, cancelStage := stageContext(ctx, opts, "fig6and7")
+	defer cancelStage()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
 	sr, err := newStage(opts, "fig6and7", len(pairs))
@@ -759,12 +864,12 @@ func Fig6and7Context(ctx context.Context, pairs []*Pair, opts Options) ([]BaseRo
 	rows := make([]BaseRow, len(pairs))
 	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		return stageCell(sr, pr.Name, &rows[i], func() error {
-			str, err := runTimed(ctx, pr.Real, pr.RealTrace, base, lim)
+		return stageCell(ctx, sr, pr.Name, &rows[i], func(tctx context.Context) error {
+			str, err := runTimed(tctx, pr.Real, pr.RealTrace, base, lim)
 			if err != nil {
 				return err
 			}
-			sts, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, base, lim)
+			sts, err := runTimed(tctx, pr.Clone.Program, pr.CloneTrace, base, lim)
 			if err != nil {
 				return err
 			}
@@ -850,6 +955,8 @@ func Table3(pairs []*Pair, opts Options) ([]DesignRow, []Table3Summary, error) {
 // cells, so each trace is decoded exactly once per program.
 func Table3Context(ctx context.Context, pairs []*Pair, opts Options) ([]DesignRow, []Table3Summary, error) {
 	opts = opts.withDefaults()
+	ctx, cancelStage := stageContext(ctx, opts, "table3")
+	defer cancelStage()
 	base := uarch.BaseConfig()
 	changes := uarch.DesignChanges()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
@@ -871,12 +978,12 @@ func Table3Context(ctx context.Context, pairs []*Pair, opts Options) ([]DesignRo
 	fopts.Workers = outer
 	if err := forEach(ctx, fopts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		return stageCell(sr, pr.Name, &cells[i], func() error {
-			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
+		return stageCell(ctx, sr, pr.Name, &cells[i], func(tctx context.Context) error {
+			str, err := runTimedMulti(tctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
-			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
+			sts, err := runTimedMulti(tctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}

@@ -42,6 +42,8 @@ func PredictorSweep(pairs []*Pair, opts Options) ([]PredictorRow, error) {
 // workload holding its full row set).
 func PredictorSweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]PredictorRow, error) {
 	opts = opts.withDefaults()
+	ctx, cancelStage := stageContext(ctx, opts, "predictor-sweep")
+	defer cancelStage()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
 	cfgs := make([]uarch.Config, len(extensionPredictors))
@@ -61,12 +63,12 @@ func PredictorSweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]
 	fopts.Workers = outer
 	err = forEach(ctx, fopts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		return stageCell(sr, pr.Name, &cells[i], func() error {
-			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
+		return stageCell(ctx, sr, pr.Name, &cells[i], func(tctx context.Context) error {
+			str, err := runTimedMulti(tctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
-			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
+			sts, err := runTimedMulti(tctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
@@ -144,6 +146,8 @@ func PrefetchStudy(pairs []*Pair, opts Options) ([]PrefetchRow, error) {
 // per-workload checkpointing (stage "prefetch").
 func PrefetchStudyContext(ctx context.Context, pairs []*Pair, opts Options) ([]PrefetchRow, error) {
 	opts = opts.withDefaults()
+	ctx, cancelStage := stageContext(ctx, opts, "prefetch")
+	defer cancelStage()
 	off := uarch.BaseConfig()
 	on := off
 	on.NextLinePrefetch = true
@@ -161,12 +165,12 @@ func PrefetchStudyContext(ctx context.Context, pairs []*Pair, opts Options) ([]P
 	fopts.Workers = outer
 	err = forEach(ctx, fopts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		return stageCell(sr, pr.Name, &rows[i], func() error {
-			r, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
+		return stageCell(ctx, sr, pr.Name, &rows[i], func(tctx context.Context) error {
+			r, err := runTimedMulti(tctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
-			c, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
+			c, err := runTimedMulti(tctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
@@ -221,6 +225,8 @@ func L2Sweep(pairs []*Pair, opts Options) ([]L2Row, error) {
 // full row set).
 func L2SweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]L2Row, error) {
 	opts = opts.withDefaults()
+	ctx, cancelStage := stageContext(ctx, opts, "l2-sweep")
+	defer cancelStage()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
 	cfgs := make([]uarch.Config, len(l2Sizes))
@@ -240,12 +246,12 @@ func L2SweepContext(ctx context.Context, pairs []*Pair, opts Options) ([]L2Row, 
 	fopts.Workers = outer
 	err = forEach(ctx, fopts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		return stageCell(sr, pr.Name, &cells[i], func() error {
-			str, err := runTimedMulti(ctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
+		return stageCell(ctx, sr, pr.Name, &cells[i], func(tctx context.Context) error {
+			str, err := runTimedMulti(tctx, pr.Real, pr.RealTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}
-			sts, err := runTimedMulti(ctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
+			sts, err := runTimedMulti(tctx, pr.Clone.Program, pr.CloneTrace, cfgs, lim, inner)
 			if err != nil {
 				return err
 			}

@@ -46,6 +46,8 @@ func InputSensitivity(opts Options) ([]InputRow, error) {
 // per-kernel checkpointing (stage "inputs").
 func InputSensitivityContext(ctx context.Context, opts Options) ([]InputRow, error) {
 	opts = opts.withDefaults()
+	ctx, cancelStage := stageContext(ctx, opts, "inputs")
+	defer cancelStage()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
 	variants := workloads.Large()
@@ -58,7 +60,7 @@ func InputSensitivityContext(ctx context.Context, opts Options) ([]InputRow, err
 	err = forEach(ctx, opts, len(variants), func(i int) error {
 		large := variants[i]
 		smallName := strings.TrimSuffix(large.Name, "-large")
-		return stageCell(sr, smallName, &rows[i], func() error {
+		return stageCell(ctx, sr, smallName, &rows[i], func(tctx context.Context) error {
 			small, err := workloads.ByName(smallName)
 			if err != nil {
 				return err
@@ -66,36 +68,36 @@ func InputSensitivityContext(ctx context.Context, opts Options) ([]InputRow, err
 			smallProg := small.Build()
 			largeProg := large.Build()
 
-			smallProf, err := profile.Collect(smallProg, profile.Options{MaxInsts: opts.ProfileInsts})
+			smallProf, err := profile.CollectContext(tctx, smallProg, profile.Options{MaxInsts: opts.ProfileInsts})
 			if err != nil {
 				return err
 			}
-			largeProf, err := profile.Collect(largeProg, profile.Options{MaxInsts: opts.ProfileInsts})
+			largeProf, err := profile.CollectContext(tctx, largeProg, profile.Options{MaxInsts: opts.ProfileInsts})
 			if err != nil {
 				return err
 			}
-			smallClone, err := synth.Generate(smallProf, synth.Config{})
+			smallClone, err := synth.GenerateContext(tctx, smallProf, synth.Config{})
 			if err != nil {
 				return err
 			}
-			largeClone, err := synth.Generate(largeProf, synth.Config{})
+			largeClone, err := synth.GenerateContext(tctx, largeProf, synth.Config{})
 			if err != nil {
 				return err
 			}
 
-			rs, err := uarch.RunLimitsContext(ctx, smallProg, base, lim)
+			rs, err := uarch.RunLimitsContext(tctx, smallProg, base, lim)
 			if err != nil {
 				return err
 			}
-			rl, err := uarch.RunLimitsContext(ctx, largeProg, base, lim)
+			rl, err := uarch.RunLimitsContext(tctx, largeProg, base, lim)
 			if err != nil {
 				return err
 			}
-			cs, err := uarch.RunLimitsContext(ctx, smallClone.Program, base, lim)
+			cs, err := uarch.RunLimitsContext(tctx, smallClone.Program, base, lim)
 			if err != nil {
 				return err
 			}
-			cl, err := uarch.RunLimitsContext(ctx, largeClone.Program, base, lim)
+			cl, err := uarch.RunLimitsContext(tctx, largeClone.Program, base, lim)
 			if err != nil {
 				return err
 			}

@@ -32,6 +32,8 @@ func StatsimComparison(pairs []*Pair, opts Options) ([]StatsimRow, error) {
 // per-workload checkpointing (stage "statsim").
 func StatsimComparisonContext(ctx context.Context, pairs []*Pair, opts Options) ([]StatsimRow, error) {
 	opts = opts.withDefaults()
+	ctx, cancelStage := stageContext(ctx, opts, "statsim")
+	defer cancelStage()
 	base := uarch.BaseConfig()
 	lim := uarch.Limits{Warmup: opts.TimingWarmup, MaxInsts: opts.TimingInsts}
 	sr, err := newStage(opts, "statsim", len(pairs))
@@ -42,12 +44,12 @@ func StatsimComparisonContext(ctx context.Context, pairs []*Pair, opts Options) 
 	rows := make([]StatsimRow, len(pairs))
 	err = forEach(ctx, opts, len(pairs), func(i int) error {
 		pr := pairs[i]
-		return stageCell(sr, pr.Name, &rows[i], func() error {
-			detailed, err := runTimed(ctx, pr.Real, pr.RealTrace, base, lim)
+		return stageCell(ctx, sr, pr.Name, &rows[i], func(tctx context.Context) error {
+			detailed, err := runTimed(tctx, pr.Real, pr.RealTrace, base, lim)
 			if err != nil {
 				return err
 			}
-			clone, err := runTimed(ctx, pr.Clone.Program, pr.CloneTrace, base, lim)
+			clone, err := runTimed(tctx, pr.Clone.Program, pr.CloneTrace, base, lim)
 			if err != nil {
 				return err
 			}

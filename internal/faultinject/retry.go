@@ -1,6 +1,8 @@
 package faultinject
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -20,7 +22,8 @@ type RetryPolicy struct {
 	// retriers don't stampede in lockstep.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
-	// Sleep defaults to time.Sleep.
+	// Sleep defaults to a context-aware wait (see RetryContext); tests
+	// substitute a fake clock here.
 	Sleep func(time.Duration)
 }
 
@@ -37,9 +40,6 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = DefaultRetry.MaxDelay
 	}
-	if p.Sleep == nil {
-		p.Sleep = time.Sleep
-	}
 	return p
 }
 
@@ -48,12 +48,29 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // exhausted transient failure still reports IsTransient (callers decide
 // whether persistence upgrades it to fatal).
 func Retry(p RetryPolicy, op func() error) error {
+	return RetryContext(context.Background(), p, op)
+}
+
+// RetryContext is Retry bounded by ctx: the loop checks the context
+// before every attempt and every backoff sleep, and a sleep in progress
+// is cut short the moment the context dies — a task whose deadline has
+// already expired stops immediately instead of sleeping through the
+// remaining backoff. When the loop is abandoned mid-retry, the returned
+// error joins the context's cancellation cause (context.Cause, so a
+// watchdog's sentinel survives) with the last attempt's error; callers
+// can errors.Is against either.
+func RetryContext(ctx context.Context, p RetryPolicy, op func() error) error {
 	p = p.withDefaults()
 	delay := p.BaseDelay
 	var err error
 	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if cerr := ctxCause(ctx); cerr != nil {
+			return abandoned(attempt, cerr, err)
+		}
 		if attempt > 0 {
-			p.Sleep(time.Duration(rand.Int64N(int64(delay) + 1)))
+			if serr := p.sleep(ctx, time.Duration(rand.Int64N(int64(delay)+1))); serr != nil {
+				return abandoned(attempt, serr, err)
+			}
 			delay *= 2
 			if delay > p.MaxDelay {
 				delay = p.MaxDelay
@@ -65,4 +82,50 @@ func Retry(p RetryPolicy, op func() error) error {
 		}
 	}
 	return fmt.Errorf("faultinject: %d attempts exhausted: %w", p.Attempts, err)
+}
+
+// abandoned reports a retry loop cut short by its context. Before the
+// first attempt there is no op error to join, so the cause propagates
+// bare (preserving the exact context.Canceled identity ^C handling
+// relies on).
+func abandoned(attempts int, cause, last error) error {
+	if last == nil {
+		return cause
+	}
+	return fmt.Errorf("faultinject: retry abandoned after %d attempt(s): %w", attempts, errors.Join(cause, last))
+}
+
+// sleep waits d or until ctx dies, whichever comes first, returning the
+// context's cause when it cut the wait short. A user-supplied Sleep (the
+// test clock seam) is called as-is and the context re-checked afterwards,
+// so a fake clock that cancels the context mid-"sleep" stops the loop
+// exactly like a real expired deadline.
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return ctxCause(ctx)
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctxCause(ctx)
+	case <-t.C:
+		return nil
+	}
+}
+
+// ctxCause is ctx.Err() upgraded to the recorded cancellation cause.
+func ctxCause(ctx context.Context) error {
+	if ctx.Err() == nil {
+		return nil
+	}
+	if c := context.Cause(ctx); c != nil {
+		return c
+	}
+	return ctx.Err()
 }

@@ -17,12 +17,14 @@
 package fidelity
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"perfclone/internal/profile"
 	"perfclone/internal/stats"
+	"perfclone/internal/supervise"
 	"perfclone/internal/synth"
 )
 
@@ -167,8 +169,15 @@ func (o Options) withDefaults() Options {
 // is operational (the clone failed to execute); a clone that runs but
 // diverges yields a Report with Pass == false and a nil error.
 func Check(target *profile.Profile, clone *synth.Clone, opts Options) (*Report, error) {
+	return CheckContext(context.Background(), target, clone, opts)
+}
+
+// CheckContext is Check with cooperative cancellation threaded into the
+// re-profiling pass (see profile.CollectContext), so a supervised
+// fidelity gate honors stage deadlines and ticks its watchdog heartbeat.
+func CheckContext(ctx context.Context, target *profile.Profile, clone *synth.Clone, opts Options) (*Report, error) {
 	opts = opts.withDefaults()
-	observed, err := profile.Collect(clone.Program, profile.Options{MaxInsts: opts.ProfileInsts})
+	observed, err := profile.CollectContext(ctx, clone.Program, profile.Options{MaxInsts: opts.ProfileInsts})
 	if err != nil {
 		return nil, fmt.Errorf("fidelity: re-profiling clone of %q: %w", target.Name, err)
 	}
@@ -448,6 +457,15 @@ func deriveSeed(base uint64, attempt int) uint64 {
 // attempt's full report so a generator bug can never silently ship a bad
 // clone.
 func Generate(target *profile.Profile, cfg synth.Config, opts Options) (*synth.Clone, *Report, error) {
+	return GenerateContext(context.Background(), target, cfg, opts)
+}
+
+// GenerateContext is Generate with cooperative cancellation: the repair
+// loop polls ctx before every attempt (returning the context's
+// cancellation cause alongside the last report) and threads ctx through
+// synthesis and the re-profiling check, so a supervised clone-generation
+// task honors stage deadlines and keeps its watchdog heartbeat ticking.
+func GenerateContext(ctx context.Context, target *profile.Profile, cfg synth.Config, opts Options) (*synth.Clone, *Report, error) {
 	opts = opts.withDefaults()
 	baseSeed := cfg.Seed
 	if baseSeed == 0 {
@@ -461,6 +479,10 @@ func Generate(target *profile.Profile, cfg synth.Config, opts Options) (*synth.C
 	var lastRep *Report
 	var baseBlocks int
 	for attempt := 1; attempt <= 1+opts.MaxRepair; attempt++ {
+		if err := supervise.Cause(ctx); err != nil {
+			return nil, lastRep, err
+		}
+		supervise.Beat(ctx)
 		acfg := cfg
 		acfg.Seed = deriveSeed(baseSeed, attempt)
 		if opts.Widen && attempt >= 3 && baseBlocks > 0 {
@@ -468,7 +490,7 @@ func Generate(target *profile.Profile, cfg synth.Config, opts Options) (*synth.C
 			// first attempt's realized size.
 			acfg.TargetBlocks = baseBlocks + baseBlocks*(attempt-2)/2
 		}
-		clone, err := synth.Generate(target, acfg)
+		clone, err := synth.GenerateContext(ctx, target, acfg)
 		if err != nil {
 			return nil, lastRep, fmt.Errorf("fidelity: regenerating %q (attempt %d, seed %d): %w", target.Name, attempt, acfg.Seed, err)
 		}
@@ -480,7 +502,7 @@ func Generate(target *profile.Profile, cfg synth.Config, opts Options) (*synth.C
 		aopts := opts
 		aopts.reportSeed = acfg.Seed
 		aopts.reportAttempt = attempt
-		rep, err := Check(target, clone, aopts)
+		rep, err := CheckContext(ctx, target, clone, aopts)
 		if err != nil {
 			return nil, lastRep, err
 		}

@@ -11,12 +11,14 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"perfclone/internal/funcsim"
 	"perfclone/internal/isa"
 	"perfclone/internal/prog"
+	"perfclone/internal/supervise"
 )
 
 // DepBuckets are the dependency-distance histogram bucket upper bounds
@@ -270,6 +272,15 @@ type Options struct {
 // binary instrumentation tool such as ATOM or Pin would produce the same
 // event stream.)
 func Collect(p *prog.Program, opts Options) (*Profile, error) {
+	return CollectContext(context.Background(), p, opts)
+}
+
+// CollectContext is Collect with cooperative cancellation: the profiling
+// observer polls ctx every 64 Ki retired instructions, stopping with the
+// context's cancellation cause, and ticks any supervision heartbeat
+// carried by ctx at the same cadence — a long profiling pass under a
+// watchdog never reads as a wedged task.
+func CollectContext(ctx context.Context, p *prog.Program, opts Options) (*Profile, error) {
 	pr := &Profile{
 		Name:     p.Name,
 		Nodes:    make(map[NodeKey]*Node),
@@ -280,8 +291,18 @@ func Collect(p *prog.Program, opts Options) (*Profile, error) {
 	prevBlock := -1
 	var curNode *Node
 	var srcBuf [2]isa.Reg
+	tick := supervise.TickerFrom(ctx)
+	watched := ctx.Done() != nil || tick != nil
 
 	obs := func(ev *funcsim.Event) error {
+		if watched && ev.Seq&(1<<16-1) == 0 {
+			if err := supervise.Cause(ctx); err != nil {
+				return err
+			}
+			if tick != nil {
+				tick()
+			}
+		}
 		// New block instance?
 		if ev.Index == 0 {
 			key := NodeKey{Prev: prevBlock, Block: ev.Block}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -164,6 +165,17 @@ func (cp *Checkpoint) Len() int {
 // write leads with a newline so the torn bytes isolate to their own
 // (droppable) line instead of corrupting the neighbor record.
 func (cp *Checkpoint) Mark(cell string, row any) error {
+	return cp.MarkContext(context.Background(), cell, row)
+}
+
+// MarkContext is Mark bounded by ctx: a context that dies before the
+// first write attempt stops the append entirely, and the backoff sleeps
+// between retries are cut short, so a cell whose deadline has expired
+// never lingers in the write path. A write attempt already in flight is
+// never interrupted mid-line by cancellation — only process death can
+// tear a line, and the JSONL loader drops torn tails — preserving the
+// invariant that a valid-CRC record always describes a complete cell.
+func (cp *Checkpoint) MarkContext(ctx context.Context, cell string, row any) error {
 	data, err := json.Marshal(row)
 	if err != nil {
 		return fmt.Errorf("store: checkpoint %s cell %s: %w", cp.stage, cell, err)
@@ -176,7 +188,7 @@ func (cp *Checkpoint) Mark(cell string, row any) error {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	cp.done[cell] = data
-	err = faultinject.Retry(cp.st.retry, func() error {
+	err = faultinject.RetryContext(ctx, cp.st.retry, func() error {
 		buf := line
 		if cp.dirty {
 			buf = append([]byte{'\n'}, line...)

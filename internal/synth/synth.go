@@ -10,6 +10,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"perfclone/internal/isa"
 	"perfclone/internal/profile"
 	"perfclone/internal/prog"
+	"perfclone/internal/supervise"
 )
 
 // Config controls clone generation.
@@ -193,6 +195,26 @@ var dirPatterns = [numDirRegs]dirPattern{
 // Generate builds a synthetic clone from a profile, following the
 // 12-step algorithm of Section 3.2.
 func Generate(p *profile.Profile, cfg Config) (*Clone, error) {
+	return GenerateContext(context.Background(), p, cfg)
+}
+
+// GenerateContext is Generate with cooperative cancellation: the
+// generator polls ctx between its phases (validate → pools → chain →
+// emit → self-check), returning the context's cancellation cause, and
+// ticks any supervision heartbeat carried by ctx at each boundary so a
+// supervised synthesis task stays live under a watchdog. Cancellation
+// never yields a partial clone — the result is either complete or nil.
+func GenerateContext(ctx context.Context, p *profile.Profile, cfg Config) (*Clone, error) {
+	phase := func() error {
+		if err := supervise.Cause(ctx); err != nil {
+			return err
+		}
+		supervise.Beat(ctx)
+		return nil
+	}
+	if err := phase(); err != nil {
+		return nil, err
+	}
 	// Sanitize at the boundary: a malformed profile (hand-edited JSON, a
 	// corrupt artifact, a fuzzer input) is an error here, never a panic
 	// inside the generator.
@@ -201,8 +223,17 @@ func Generate(p *profile.Profile, cfg Config) (*Clone, error) {
 	}
 	cfg = cfg.withDefaults(p)
 	g := &generator{prof: p, cfg: cfg, rng: rng{s: cfg.Seed}}
+	if err := phase(); err != nil {
+		return nil, err
+	}
 	g.buildPools()
+	if err := phase(); err != nil {
+		return nil, err
+	}
 	chain := g.buildChain()
+	if err := phase(); err != nil {
+		return nil, err
+	}
 	clone, err := g.emit(chain)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"perfclone/internal/dyntrace"
+	"perfclone/internal/supervise"
 )
 
 // decodeTable is the per-trace decode product ReplayMulti memoizes on
@@ -163,7 +164,13 @@ func ReplayMultiContext(ctx context.Context, t *dyntrace.Trace, cfgs []Config, l
 // Cancellation drains before returning: once ctx is cancelled the
 // producer stops decoding and the call blocks until every in-flight
 // worker has finished its chunk, so no goroutine touches the trace (or
-// its mmap) after ReplayMultiWorkers returns.
+// its mmap) after ReplayMultiWorkers returns. The error is the context's
+// *cause* (context.Cause), not a bare context error: a run killed by a
+// supervision watchdog surfaces supervise.ErrStuck, distinguishable from
+// a user ^C's context.Canceled, so retry layers can tell a wedged worker
+// from an interrupt. Both producer and workers also tick any supervision
+// heartbeat carried by ctx once per chunk, feeding the watchdog that
+// makes that detection.
 func ReplayMultiWorkers(ctx context.Context, t *dyntrace.Trace, cfgs []Config, lim Limits, workers int) ([]Stats, error) {
 	sims := make([]*Sim, len(cfgs))
 	for i, cfg := range cfgs {
@@ -205,12 +212,17 @@ func ReplayMultiWorkers(ctx context.Context, t *dyntrace.Trace, cfgs []Config, l
 }
 
 // replayWalkSerial is the single-goroutine walk: decode a chunk, feed it
-// to every pipeline, repeat. ctx is polled once per chunk.
+// to every pipeline, repeat. ctx is polled (and any supervision
+// heartbeat ticked) once per chunk.
 func replayWalkSerial(ctx context.Context, dec *chunkDecoder, sims []*Sim) error {
 	chunk := make([]TraceInst, streamChunk)
+	tick := supervise.TickerFrom(ctx)
 	for !dec.done() {
-		if err := ctx.Err(); err != nil {
+		if err := supervise.Cause(ctx); err != nil {
 			return err
+		}
+		if tick != nil {
+			tick()
 		}
 		c, err := dec.next(chunk)
 		if err != nil {
@@ -258,6 +270,10 @@ func replayWalkParallel(ctx context.Context, dec *chunkDecoder, sims []*Sim, wor
 	for w := range feeds {
 		feeds[w] = make(chan msg, nbuf)
 	}
+	// Producer and workers share one heartbeat: any goroutine still
+	// making progress keeps the watchdog satisfied, so only a genuinely
+	// wedged topology (producer and every worker silent) trips it.
+	tick := supervise.TickerFrom(ctx)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -268,14 +284,20 @@ func replayWalkParallel(ctx context.Context, dec *chunkDecoder, sims []*Sim, wor
 				for j := w; j < len(sims); j += workers {
 					sims[j].consume(chunk)
 				}
+				if tick != nil {
+					tick()
+				}
 				slots[m.buf].free <- struct{}{}
 			}
 		}(w)
 	}
 	var err error
 	for b := 0; !dec.done(); b = (b + 1) % nbuf {
-		if err = ctx.Err(); err != nil {
+		if err = supervise.Cause(ctx); err != nil {
 			break
+		}
+		if tick != nil {
+			tick()
 		}
 		// Reclaim buffer b: every worker must have released it.
 		for w := 0; w < workers; w++ {

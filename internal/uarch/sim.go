@@ -9,6 +9,7 @@ import (
 	"perfclone/internal/funcsim"
 	"perfclone/internal/isa"
 	"perfclone/internal/prog"
+	"perfclone/internal/supervise"
 )
 
 // streamChunk is the number of TraceInst records fed to the pipeline per
@@ -211,13 +212,17 @@ func RunLimits(p *prog.Program, cfg Config, lim Limits) (Stats, error) {
 
 // RunLimitsContext is RunLimits with cooperative cancellation: the run
 // polls ctx at every streamChunk boundary (once per 64k instructions) and
-// aborts with ctx.Err() once it is cancelled, so a SIGINT drains a grid of
-// timing runs in at most one chunk's worth of work per worker.
+// aborts with the context's cause (context.Cause — so a watchdog's
+// supervise.ErrStuck or a stage deadline's cause survives) once it is
+// cancelled, so a SIGINT drains a grid of timing runs in at most one
+// chunk's worth of work per worker. The same boundary ticks any
+// supervision heartbeat carried by ctx.
 func RunLimitsContext(ctx context.Context, p *prog.Program, cfg Config, lim Limits) (Stats, error) {
 	s, err := newSim(cfg)
 	if err != nil {
 		return Stats{}, err
 	}
+	tick := supervise.TickerFrom(ctx)
 
 	// The functional front end produces the dynamic stream; the timing
 	// back end consumes it in chunks (trace-driven timing over the
@@ -246,8 +251,11 @@ func RunLimitsContext(ctx context.Context, p *prog.Program, cfg Config, lim Limi
 		}
 		trace = append(trace, ti)
 		if len(trace) == cap(trace) {
-			if err := ctx.Err(); err != nil {
+			if err := supervise.Cause(ctx); err != nil {
 				return err
+			}
+			if tick != nil {
+				tick()
 			}
 			s.consume(trace)
 			trace = trace[:0]
@@ -276,8 +284,8 @@ func Replay(t *dyntrace.Trace, cfg Config, lim Limits) (Stats, error) {
 // ReplayContext is Replay with cooperative cancellation, polling ctx at
 // every streamChunk boundary (including before the final partial chunk)
 // like RunLimitsContext. Cancellation does not affect determinism: a run
-// either completes with the exact Replay result or returns ctx.Err()
-// with zero Stats.
+// either completes with the exact Replay result or returns the context's
+// cancellation cause with zero Stats.
 func ReplayContext(ctx context.Context, t *dyntrace.Trace, cfg Config, lim Limits) (Stats, error) {
 	res, err := ReplayMultiContext(ctx, t, []Config{cfg}, lim)
 	if err != nil {
