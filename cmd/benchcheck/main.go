@@ -66,14 +66,16 @@ func parseBenchLines(r io.Reader) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
-// check compares measurements against the baseline and writes one
-// greppable line per matched benchmark. It returns the names that
-// regressed past maxRegress.
+// check compares measurements against the baseline, writes one greppable
+// line per matched benchmark plus a one-line total, and returns the
+// names that regressed past maxRegress.
 func check(w io.Writer, base baselineFile, got map[string]float64, maxRegress float64) []string {
 	var regressed []string
+	var ok, skip int
 	for name, ns := range got {
-		b, ok := base.Benchmarks[name]
-		if !ok || b.AfterNsPerOp <= 0 {
+		b, known := base.Benchmarks[name]
+		if !known || b.AfterNsPerOp <= 0 {
+			skip++
 			fmt.Fprintf(w, "benchcheck: SKIP %s: no baseline entry\n", name)
 			continue
 		}
@@ -82,10 +84,13 @@ func check(w io.Writer, base baselineFile, got map[string]float64, maxRegress fl
 		if ratio > maxRegress {
 			verdict = "REGRESSED"
 			regressed = append(regressed, name)
+		} else {
+			ok++
 		}
 		fmt.Fprintf(w, "benchcheck: %s %s: %.0f ns/op vs baseline %.0f (%+.1f%%, threshold +%.1f%%)\n",
 			verdict, name, ns, b.AfterNsPerOp, 100*ratio, 100*maxRegress)
 	}
+	fmt.Fprintf(w, "benchcheck: %d ok, %d skip, %d regressed\n", ok, skip, len(regressed))
 	return regressed
 }
 

@@ -68,6 +68,7 @@ func TestCheckThreshold(t *testing.T) {
 		"benchcheck: OK BenchmarkTable3DesignChanges",
 		"benchcheck: REGRESSED BenchmarkFig4CacheTracking",
 		"benchcheck: SKIP BenchmarkUnknownThing",
+		"benchcheck: 1 ok, 1 skip, 1 regressed",
 	} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)

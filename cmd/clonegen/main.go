@@ -24,7 +24,7 @@
 // extra attempts, and -watchdog kills and retries a step whose
 // heartbeat stays quiet that long. Exit codes: 0 on success, 1 on
 // error, 2 on usage errors, 124 when a -stage-timeout budget expired,
-// 130 when interrupted.
+// 130 when interrupted by ^C/SIGINT, 143 when drained by SIGTERM.
 package main
 
 import (
@@ -34,13 +34,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"perfclone/internal/codegen"
 	"perfclone/internal/fidelity"
 	"perfclone/internal/profile"
+	"perfclone/internal/sigdrain"
 	"perfclone/internal/supervise"
 	"perfclone/internal/synth"
 	"perfclone/internal/workloads"
@@ -97,8 +96,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// First ^C or SIGTERM cancels the run cooperatively; the exit code
+	// tells the two apart (130 vs 143).
+	ctx, drain := sigdrain.Notify(context.Background())
+	defer drain.Stop()
 	super := supervise.New(supervise.Options{Log: os.Stderr, Wedge: os.Getenv("PERFCLONE_WEDGE")})
 	err := run(ctx, o, super)
 	if o.stageTimeout > 0 || o.watchdog > 0 || o.taskRetries > 0 {
@@ -110,7 +111,8 @@ func main() {
 		case errors.Is(err, supervise.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
 			os.Exit(124)
 		case errors.Is(err, context.Canceled):
-			os.Exit(130)
+			// 130 for ^C, 143 for SIGTERM (128+signo).
+			os.Exit(drain.ExitCode())
 		}
 		os.Exit(1)
 	}

@@ -39,7 +39,8 @@
 // Exit codes: 0 on success (including a -doctor pass that quarantined
 // artifacts — the repair succeeded, and a run whose wedged or panicked
 // cells all recovered), 1 on error, 2 on usage errors, 124 when a
-// -stage-timeout budget expired, 130 when interrupted.
+// -stage-timeout budget expired, 130 when interrupted by ^C/SIGINT,
+// 143 when drained by SIGTERM.
 package main
 
 import (
@@ -48,14 +49,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
-	"syscall"
 
 	"perfclone/internal/experiments"
+	"perfclone/internal/sigdrain"
 	"perfclone/internal/store"
 	"perfclone/internal/supervise"
 )
@@ -186,16 +186,13 @@ func main() {
 		return
 	}
 
-	// First ^C cancels the run cooperatively: workers stop claiming
-	// cells, in-flight simulations abort at their next context poll, and
-	// every finished cell is already checkpointed. stop() re-arms default
-	// signal handling, so a second ^C kills the process outright.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	go func() {
-		<-ctx.Done()
-		stop()
-	}()
+	// First ^C or SIGTERM cancels the run cooperatively: workers stop
+	// claiming cells, in-flight simulations abort at their next context
+	// poll, and every finished cell is already checkpointed. The handler
+	// disarms after the first signal, so a second one kills the process
+	// outright; the exit code tells the two apart (130 vs 143).
+	ctx, drain := sigdrain.Notify(context.Background())
+	defer drain.Stop()
 
 	tr := &tracker{verbose: *progress}
 	opts.Progress = tr.observe
@@ -231,7 +228,8 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr)
 			finishProfiles()
-			os.Exit(130)
+			// 130 for ^C, 143 for SIGTERM (128+signo).
+			os.Exit(drain.ExitCode())
 		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		finishProfiles()

@@ -1,0 +1,296 @@
+package main
+
+// Process-level chaos for the daemon: SIGKILL at a seeded random point
+// mid-queue, restart over the same data dir, and require every accepted
+// job to finish with artifacts byte-identical to an uninterrupted run
+// and no duplicated commits — plus the graceful SIGTERM drain contract.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"perfclone/internal/jobqueue"
+)
+
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "perfcloned")
+	cmd := exec.Command("go", "build", "-o", bin, "perfclone/cmd/perfcloned")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build cmd/perfcloned: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// daemon is one running perfcloned subprocess.
+type daemon struct {
+	cmd    *exec.Cmd
+	url    string
+	stdout *bytes.Buffer
+	stderr *bytes.Buffer
+	done   chan error
+}
+
+// startDaemon launches the binary on an ephemeral port and waits for
+// the greppable listening line to learn the bound address.
+func startDaemon(t *testing.T, bin, dataDir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, "-data", dataDir, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdoutPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, stdout: &bytes.Buffer{}, stderr: &bytes.Buffer{}, done: make(chan error, 1)}
+	cmd.Stderr = d.stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	sc := bufio.NewScanner(stdoutPipe)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(d.stdout, line)
+		if addr, ok := strings.CutPrefix(line, "perfcloned: listening on "); ok {
+			d.url = "http://" + strings.TrimSpace(addr)
+			break
+		}
+	}
+	if d.url == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("daemon never printed its listening line; stderr:\n%s", d.stderr.String())
+	}
+	// Keep draining stdout so the child never blocks on a full pipe, and
+	// hand the exit status to done.
+	go func() {
+		io.Copy(d.stdout, stdoutPipe)
+		d.done <- d.cmd.Wait()
+	}()
+	return d
+}
+
+// batch is the reference workload: one of each job kind, small but
+// driving the full pipeline (capture, synth, replay, checkpoint).
+func batch() []jobqueue.Spec {
+	return []jobqueue.Spec{
+		{Kind: jobqueue.KindExperiment, Run: "fig4", Workloads: []string{"crc32"}, Insts: 100_000},
+		{Kind: jobqueue.KindProfile, Workload: "crc32", Insts: 100_000},
+		{Kind: jobqueue.KindClone, Workload: "qsort", Insts: 100_000, Seed: 5},
+	}
+}
+
+func submitBatch(t *testing.T, url string) []string {
+	t.Helper()
+	var ids []string
+	for i, spec := range batch() {
+		body, _ := json.Marshal(map[string]any{"tenant": "chaos", "spec": spec})
+		resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		var j jobqueue.Job
+		err = json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d err %v", i, resp.StatusCode, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	return ids
+}
+
+// waitAllDone polls until every job is terminal, failing on StateFailed.
+func waitAllDone(t *testing.T, url string, ids []string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for _, id := range ids {
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", id)
+			}
+			resp, err := http.Get(url + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var j jobqueue.Job
+			err = json.NewDecoder(resp.Body).Decode(&j)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j.State == jobqueue.StateDone {
+				break
+			}
+			if j.State == jobqueue.StateFailed {
+				t.Fatalf("job %s failed: %s", id, j.Error)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+}
+
+func fetchArtifacts(t *testing.T, url string, ids []string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(ids))
+	for _, id := range ids {
+		resp, err := http.Get(url + "/v1/jobs/" + id + "/artifact")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("artifact %s: status %d err %v", id, resp.StatusCode, err)
+		}
+		if len(raw) == 0 {
+			t.Fatalf("artifact %s is empty", id)
+		}
+		out[id] = raw
+	}
+	return out
+}
+
+// TestDaemonKillResumeByteIdentical: reference run (uninterrupted,
+// SIGTERM-drained at the end), then seeded SIGKILL rounds — submit the
+// whole batch, kill the daemon at a random point, restart over the same
+// data dir, and require identical artifacts and exactly-once commits.
+func TestDaemonKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash chaos skipped in -short")
+	}
+	bin := buildDaemon(t)
+
+	// Reference: uninterrupted run; its wall time bounds the kill delays.
+	refData := filepath.Join(t.TempDir(), "ref")
+	refD := startDaemon(t, bin, refData)
+	start := time.Now()
+	refIDs := submitBatch(t, refD.url)
+	waitAllDone(t, refD.url, refIDs)
+	refWall := time.Since(start)
+	ref := fetchArtifacts(t, refD.url, refIDs)
+
+	// Graceful SIGTERM drain: exit 0 with the drained summary line.
+	if err := refD.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-refD.done:
+		if err != nil {
+			t.Fatalf("SIGTERM drain exited non-zero: %v\nstderr:\n%s", err, refD.stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain within 30s of SIGTERM")
+	}
+	if !strings.Contains(refD.stdout.String(), "perfcloned: drained") {
+		t.Fatalf("missing drained summary line; stdout:\n%s", refD.stdout.String())
+	}
+
+	seed := uint64(time.Now().UnixNano())
+	if env := os.Getenv("PERFCLONE_KILL_SEED"); env != "" {
+		v, err := strconv.ParseUint(env, 10, 64)
+		if err != nil {
+			t.Fatalf("PERFCLONE_KILL_SEED: %v", err)
+		}
+		seed = v
+	}
+	rounds := 1
+	if env := os.Getenv("PERFCLONE_KILL_ROUNDS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v < 1 {
+			t.Fatalf("PERFCLONE_KILL_ROUNDS: bad value %q", env)
+		}
+		rounds = v
+	}
+	t.Logf("daemon kill-resume chaos: seed %d (set PERFCLONE_KILL_SEED=%d to replay), %d round(s)", seed, seed, rounds)
+	rng := rand.New(rand.NewPCG(seed, 0))
+
+	for round := 0; round < rounds; round++ {
+		dataDir := filepath.Join(t.TempDir(), fmt.Sprintf("data-%d", round))
+		victim := startDaemon(t, bin, dataDir)
+		ids := submitBatch(t, victim.url)
+		delay := time.Duration(rng.Int64N(int64(refWall) + 1))
+		t.Logf("round %d: SIGKILL after %v (reference ran %v)", round, delay, refWall)
+		time.Sleep(delay)
+		victim.cmd.Process.Kill()
+		<-victim.done // killed (or finished first — both are valid rounds)
+
+		// Restart over the same WAL + artifacts + store: the queue must
+		// replay, requeue in-flight jobs, and finish everything.
+		revived := startDaemon(t, bin, dataDir)
+		waitAllDone(t, revived.url, ids)
+		got := fetchArtifacts(t, revived.url, ids)
+		for i, id := range ids {
+			if !bytes.Equal(got[id], ref[refIDs[i]]) {
+				t.Errorf("round %d: job %s artifact differs from uninterrupted run (seed %d, delay %v)",
+					round, id, seed, delay)
+			}
+		}
+
+		// Exactly-once: the replayed WAL holds at most one terminal
+		// record per job, and exactly one committed artifact file each.
+		jobs, _, err := jobqueue.ScanWAL(filepath.Join(dataDir, "wal", "jobs.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		terminal := make(map[string]int)
+		for _, j := range jobs {
+			if j.State.Terminal() {
+				terminal[j.ID]++
+			}
+		}
+		for _, id := range ids {
+			if terminal[id] != 1 {
+				t.Errorf("round %d: job %s has %d terminal WAL records, want exactly 1", round, id, terminal[id])
+			}
+			matches, err := filepath.Glob(filepath.Join(dataDir, "artifacts", id+"*"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(matches) != 1 {
+				t.Errorf("round %d: job %s has artifact files %v, want exactly one", round, id, matches)
+			}
+		}
+
+		revived.cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case err := <-revived.done:
+			if err != nil {
+				t.Fatalf("round %d: drain exited non-zero: %v\nstderr:\n%s", round, err, revived.stderr.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: daemon did not drain within 30s of SIGTERM", round)
+		}
+	}
+}

@@ -103,6 +103,11 @@ type Options struct {
 	// its run-summary line spans the whole run; nil gives each stage a
 	// private supervisor logging to Log.
 	Supervisor *supervise.Supervisor
+	// CheckpointPrefix namespaces this run's checkpoint files within the
+	// store ("<prefix><stage>.jsonl"). The daemon sets it to the job ID
+	// so concurrent jobs sharing one store never interleave checkpoint
+	// logs; the CLI leaves it empty.
+	CheckpointPrefix string
 }
 
 // Event is one progress notification: a finished grid cell, or — with
@@ -486,7 +491,7 @@ func newStage(opts Options, name string, total int) (*stageRun, error) {
 		sr.super = supervise.New(supervise.Options{Log: opts.Log})
 	}
 	if opts.Store != nil {
-		cp, err := opts.Store.OpenCheckpoint(name, opts.Resume)
+		cp, err := opts.Store.OpenCheckpoint(opts.CheckpointPrefix+name, opts.Resume)
 		switch {
 		case err == nil:
 			sr.cp = cp

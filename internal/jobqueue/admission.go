@@ -1,0 +1,86 @@
+package jobqueue
+
+// Admission control: shed load at the door instead of queueing
+// unboundedly. Two independent gates per tenant — a quota on live jobs
+// (bounds queue memory and worker starvation) and a token bucket on
+// submission rate (bounds WAL append churn from a hot client).
+
+import (
+	"fmt"
+	"time"
+)
+
+// LimitError reports a shed submission; the HTTP layer maps it to
+// 429 + Retry-After.
+type LimitError struct {
+	// Reason is "quota" (too many live jobs) or "rate" (token bucket dry).
+	Reason string
+	Tenant string
+	// RetryAfter is the suggested wait before resubmitting.
+	RetryAfter time.Duration
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("jobqueue: tenant %q over %s limit, retry after %v", e.Tenant, e.Reason, e.RetryAfter)
+}
+
+// quotaRetryAfter is the quota hint: a live job finishing is what frees
+// the slot, and job durations are seconds-to-minutes, so anything
+// shorter just burns requests.
+const quotaRetryAfter = time.Second
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+type admission struct {
+	quota   int
+	rate    float64
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+func newAdmission(opts Options) *admission {
+	burst := float64(opts.Burst)
+	if opts.Rate > 0 && burst < 1 {
+		burst = max(1, opts.Rate)
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &admission{
+		quota:   opts.Quota,
+		rate:    opts.Rate,
+		burst:   burst,
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// admit decides one submission; called with the queue lock held (the
+// buckets map shares the queue's mutex).
+func (a *admission) admit(tenant string, live int) error {
+	if a.quota > 0 && live >= a.quota {
+		return &LimitError{Reason: "quota", Tenant: tenant, RetryAfter: quotaRetryAfter}
+	}
+	if a.rate <= 0 {
+		return nil
+	}
+	b, ok := a.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: a.burst, last: a.now()}
+		a.buckets[tenant] = b
+	}
+	now := a.now()
+	b.tokens = min(a.burst, b.tokens+now.Sub(b.last).Seconds()*a.rate)
+	b.last = now
+	if b.tokens < 1 {
+		wait := time.Duration((1 - b.tokens) / a.rate * float64(time.Second))
+		return &LimitError{Reason: "rate", Tenant: tenant, RetryAfter: max(wait, time.Millisecond)}
+	}
+	b.tokens--
+	return nil
+}

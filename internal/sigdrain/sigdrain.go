@@ -1,0 +1,80 @@
+// Package sigdrain is the shared signal-drain helper behind every CLI
+// and the perfcloned daemon: the first SIGINT or SIGTERM cancels the
+// returned context so the run drains cooperatively (workers stop
+// claiming cells, in-flight simulations abort at their next poll, every
+// finished cell is already checkpointed), and the handler then disarms
+// itself so a second signal kills the process outright.
+//
+// The helper also remembers *which* signal ended the run, because the
+// two carry different meanings and different conventional exit codes:
+// 130 (128+SIGINT) is an interactive ^C, 143 (128+SIGTERM) is a
+// supervisor — systemd, Kubernetes, a CI runner — asking the process to
+// shut down. Batch CLIs map a drained run to ExitCode; the daemon
+// instead drains its job queue and exits 0 (a clean drain is its
+// success path, see cmd/perfcloned).
+package sigdrain
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+)
+
+// Handle observes which signal (if any) cancelled the context returned
+// by Notify and maps it to the conventional exit code.
+type Handle struct {
+	sig  atomic.Value // os.Signal, set at most once
+	stop func()
+}
+
+// Notify returns a child of parent that is cancelled by the first
+// SIGINT or SIGTERM. After the first signal the handler disarms
+// (signal.Stop), restoring default disposition, so a second signal
+// terminates the process immediately — an operator is never more than
+// two ^C away from their prompt. Call Handle.Stop to release the
+// handler early (also restoring default disposition).
+func Notify(parent context.Context) (context.Context, *Handle) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	h := &Handle{}
+	h.stop = func() {
+		signal.Stop(ch)
+		cancel()
+	}
+	go func() {
+		select {
+		case s := <-ch:
+			h.sig.Store(s)
+			signal.Stop(ch) // second signal: default handling, immediate death
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+		}
+	}()
+	return ctx, h
+}
+
+// Stop disarms the handler and cancels the derived context. Safe to
+// call more than once and after a signal already fired.
+func (h *Handle) Stop() { h.stop() }
+
+// Signal returns the signal that cancelled the context, or nil when the
+// context ended for another reason (parent cancel, normal completion).
+func (h *Handle) Signal() os.Signal {
+	s, _ := h.sig.Load().(os.Signal)
+	return s
+}
+
+// ExitCode maps the observed signal to the shell convention 128+signo:
+// 130 for SIGINT, 143 for SIGTERM. When no signal was observed it
+// returns 130, preserving the CLIs' historical "interrupted" code for
+// any other cooperative cancellation.
+func (h *Handle) ExitCode() int {
+	if h.Signal() == syscall.SIGTERM {
+		return 143
+	}
+	return 130
+}

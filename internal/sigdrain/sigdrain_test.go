@@ -1,0 +1,69 @@
+package sigdrain
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// waitDone fails the test if ctx does not die promptly.
+func waitDone(t *testing.T, ctx context.Context) {
+	t.Helper()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled")
+	}
+}
+
+func TestSigtermDrainsWith143(t *testing.T) {
+	ctx, h := Notify(context.Background())
+	defer h.Stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ctx)
+	if got := h.Signal(); got != syscall.SIGTERM {
+		t.Fatalf("Signal = %v, want SIGTERM", got)
+	}
+	if got := h.ExitCode(); got != 143 {
+		t.Fatalf("ExitCode = %d, want 143", got)
+	}
+}
+
+func TestSigintDrainsWith130(t *testing.T) {
+	ctx, h := Notify(context.Background())
+	defer h.Stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, ctx)
+	if got := h.Signal(); got != syscall.SIGINT {
+		t.Fatalf("Signal = %v, want SIGINT", got)
+	}
+	if got := h.ExitCode(); got != 130 {
+		t.Fatalf("ExitCode = %d, want 130", got)
+	}
+}
+
+func TestParentCancelReportsNoSignalAnd130(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, h := Notify(parent)
+	defer h.Stop()
+	cancel()
+	waitDone(t, ctx)
+	if got := h.Signal(); got != nil {
+		t.Fatalf("Signal = %v, want nil (no signal fired)", got)
+	}
+	if got := h.ExitCode(); got != 130 {
+		t.Fatalf("ExitCode = %d, want the historical 130 fallback", got)
+	}
+}
+
+func TestStopIsIdempotent(t *testing.T) {
+	ctx, h := Notify(context.Background())
+	h.Stop()
+	h.Stop()
+	waitDone(t, ctx)
+}

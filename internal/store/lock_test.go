@@ -1,0 +1,173 @@
+package store
+
+// Fake-clock tests for the clock-skew-safe lock-steal protocol: a claim
+// file is stolen only after the same incarnation is observed for
+// staleAge of locally elapsed (monotonic) time, never by comparing its
+// mtime against the local wall clock.
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when the code under test sleeps, so minutes of
+// lock observation run in real microseconds and the tests stay exact.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// onFakeClock rewires st's clock seams and returns the clock.
+func onFakeClock(st *Store) *fakeClock {
+	clk := newFakeClock()
+	st.now, st.sleep = clk.Now, clk.Sleep
+	return clk
+}
+
+// plantLock simulates a peer's claim file whose mtime is skewed by d
+// relative to our wall clock (negative = the peer's clock runs behind).
+func plantLock(t *testing.T, lock string, skew time.Duration) {
+	t.Helper()
+	if err := os.WriteFile(lock, []byte("424242\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(skew)
+	if err := os.Chtimes(lock, when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackdatedLiveLockNotStolen is the regression test for the
+// wall-clock scheme: a live peer whose clock runs an hour behind ours
+// writes a lock that *looks* older than staleLockAge by mtime. The old
+// code stole it instantly, letting two writers interleave one artifact;
+// now the waiter times out with errLockHeld and the lock survives.
+func TestBackdatedLiveLockNotStolen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, WithLog(io.Discard), WithLockWait(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	onFakeClock(st)
+	path := filepath.Join(dir, "traces", "live.dtr")
+	lock := path + ".lock"
+	plantLock(t, lock, -time.Hour)
+
+	if _, err := st.lockPath(path); !errors.Is(err, errLockHeld) {
+		t.Fatalf("backdated live lock: got %v, want errLockHeld", err)
+	}
+	if _, err := os.Stat(lock); err != nil {
+		t.Fatalf("live peer's lock must survive the wait: %v", err)
+	}
+}
+
+// TestStaleLockStolenAfterMonotonicObservation: a crashed owner's lock
+// is stolen once the same claim file has sat in place for staleAge of
+// observed time — even when its mtime claims it is from the future
+// (peer clock ahead of ours), which the old scheme would never steal.
+func TestStaleLockStolenAfterMonotonicObservation(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, WithLog(io.Discard), WithLockWait(30*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := onFakeClock(st)
+	path := filepath.Join(dir, "traces", "crashed.dtr")
+	lock := path + ".lock"
+	plantLock(t, lock, time.Hour)
+
+	start := time.Now()
+	release, err := st.lockPath(path)
+	if err != nil {
+		t.Fatalf("crashed owner's lock not stolen: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("waited %v of real time; observation must run on the fake clock", d)
+	}
+	if observed := clk.Now().Sub(newFakeClock().now); observed < st.staleAge {
+		t.Fatalf("stole after only %v of observation, want >= %v", observed, st.staleAge)
+	}
+	release()
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Fatalf("lock not released after steal: %v", err)
+	}
+}
+
+// TestLockRefreshResetsStaleObservation: a peer that releases and
+// re-takes the lock mid-wait produces a new incarnation (different
+// size), which must restart the observation window — the re-taken lock
+// is live, not stale.
+func TestLockRefreshResetsStaleObservation(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, WithLog(io.Discard), WithLockWait(12*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := onFakeClock(st)
+	path := filepath.Join(dir, "traces", "refreshed.dtr")
+	lock := path + ".lock"
+	plantLock(t, lock, 0)
+
+	// After five fake minutes the peer re-takes the lock; the remaining
+	// seven minutes of lockWait are short of a full staleAge window.
+	epoch := clk.Now()
+	refreshed := false
+	st.sleep = func(d time.Duration) {
+		clk.Sleep(d)
+		if !refreshed && clk.Now().Sub(epoch) >= 5*time.Minute {
+			refreshed = true
+			if err := os.WriteFile(lock, []byte("4242424242\n"), 0o644); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if _, err := st.lockPath(path); !errors.Is(err, errLockHeld) {
+		t.Fatalf("re-taken lock: got %v, want errLockHeld (window must reset)", err)
+	}
+	if !refreshed {
+		t.Fatal("test never exercised the refresh")
+	}
+}
+
+// TestStaleStealEndToEnd drives the steal through SaveTrace/LoadTrace,
+// pinning that a write blocked by a crashed peer still commits a
+// readable artifact and leaves no claim file behind.
+func TestStaleStealEndToEnd(t *testing.T) {
+	st, tr := testProgramAndTrace(t)
+	st.lockWait = 30 * time.Minute
+	onFakeClock(st)
+	path := st.tracePath("crc32", ProgramHash(tr.Program()), 20_000)
+	lock := path + ".lock"
+	plantLock(t, lock, time.Hour)
+
+	if err := st.SaveTrace("crc32", tr, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Fatalf("lock not released after steal: %v", err)
+	}
+	if _, ok, err := st.LoadTrace("crc32", tr.Program(), 20_000); err != nil || !ok {
+		t.Fatalf("artifact unreadable after steal: ok=%v err=%v", ok, err)
+	}
+}

@@ -61,6 +61,9 @@ type Store struct {
 	log      io.Writer
 	retry    faultinject.RetryPolicy
 	lockWait time.Duration
+	staleAge time.Duration
+	now      func() time.Time    // clock seam; lock staleness is judged on it
+	sleep    func(time.Duration) // sleep seam; fake clocks advance through it
 
 	traceHits     atomic.Uint64
 	traceMisses   atomic.Uint64
@@ -106,6 +109,9 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		fs:       faultinject.OS,
 		log:      os.Stderr,
 		lockWait: 10 * time.Second,
+		staleAge: staleLockAge,
+		now:      time.Now,
+		sleep:    time.Sleep,
 	}
 	for _, o := range opts {
 		o(s)
@@ -386,18 +392,41 @@ func (s *Store) syncDir(dir string) error {
 	return nil
 }
 
-// staleLockAge is how old an artifact lock must be before a writer
-// concludes its owner crashed and steals it.
+// staleLockAge is how long a writer must continuously observe the same
+// claim file — by its own monotonic clock — before concluding its owner
+// crashed and stealing the lock.
 const staleLockAge = 10 * time.Minute
+
+// lockIdentity fingerprints one incarnation of a claim file so a waiter
+// can tell "the same lock is still sitting there" apart from "a peer
+// released and re-took it". The token is only ever compared for
+// equality, never against the local clock.
+type lockIdentity struct {
+	mod  time.Time
+	size int64
+}
+
+func (a lockIdentity) same(b lockIdentity) bool {
+	return a.size == b.size && a.mod.Equal(b.mod)
+}
 
 // lockPath takes the cross-process advisory lock for one artifact path
 // via an O_EXCL claim file. It polls with backoff up to s.lockWait, then
-// returns errLockHeld; locks older than staleLockAge are stolen (their
-// owner crashed before removing them).
+// returns errLockHeld. A lock whose owner crashed before removing it is
+// stolen, but staleness is judged by this process's monotonic clock, not
+// the claim file's mtime: the same lock incarnation must stay in place
+// for staleAge of locally observed elapsed time before the steal, and a
+// peer re-taking the lock resets the window. Comparing the file's mtime
+// against the local wall clock — the old scheme — wrongly steals a live
+// peer's lock the moment their clock runs behind ours (NTP step, skewed
+// container clock); observed elapsed time cannot be skewed.
 func (s *Store) lockPath(path string) (release func(), err error) {
 	lock := path + ".lock"
-	deadline := time.Now().Add(s.lockWait)
+	deadline := s.now().Add(s.lockWait)
 	poll := 2 * time.Millisecond
+	var held lockIdentity
+	var heldSince time.Time
+	watching := false
 	for {
 		f, err := s.fs.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err == nil {
@@ -409,8 +438,15 @@ func (s *Store) lockPath(path string) (release func(), err error) {
 		}
 		switch {
 		case errors.Is(err, iofs.ErrExist):
-			if st, serr := s.fs.Stat(lock); serr == nil && time.Since(st.ModTime()) > staleLockAge {
+			if st, serr := s.fs.Stat(lock); serr != nil {
+				// The lock vanished (or the stat faulted) between the
+				// O_EXCL attempt and the stat; poll again shortly.
+				watching = false
+			} else if id := (lockIdentity{st.ModTime(), st.Size()}); !watching || !id.same(held) {
+				held, heldSince, watching = id, s.now(), true
+			} else if s.now().Sub(heldSince) >= s.staleAge {
 				_ = s.fs.Remove(lock)
+				watching = false
 				continue
 			}
 		case faultinject.IsTransient(err):
@@ -418,10 +454,10 @@ func (s *Store) lockPath(path string) (release func(), err error) {
 		default:
 			return nil, err
 		}
-		if time.Now().After(deadline) {
+		if s.now().After(deadline) {
 			return nil, errLockHeld
 		}
-		time.Sleep(poll)
+		s.sleep(poll)
 		if poll < 50*time.Millisecond {
 			poll *= 2
 		}

@@ -5,7 +5,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -317,5 +319,85 @@ func TestBeatNoopOnUnsupervisedContext(t *testing.T) {
 	Beat(context.Background()) // must not panic
 	if TickerFrom(context.Background()) != nil {
 		t.Fatal("TickerFrom(unsupervised) should be nil")
+	}
+}
+
+// TestSummaryCountersConcurrent pins the exact counter totals when many
+// goroutines share one Supervisor (the daemon's worker pool does). Each
+// goroutine runs a fixed mix of outcomes; run under -race this also
+// proves the counters and the shared log writer are data-race free.
+func TestSummaryCountersConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		okRuns     = 3 // succeed first attempt
+		recRuns    = 2 // fail transiently once, then succeed
+		failRuns   = 2 // fail non-transiently (no retry)
+		panicRuns  = 1 // panic once, then succeed
+	)
+	s := New(Options{Log: io.Discard})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < okRuns; i++ {
+				if err := s.Run(ctx, Spec{Name: fmt.Sprintf("ok/%d-%d", g, i)}, func(context.Context) error { return nil }); err != nil {
+					t.Errorf("ok run: %v", err)
+				}
+			}
+			for i := 0; i < recRuns; i++ {
+				first := true
+				err := s.Run(ctx, Spec{Name: fmt.Sprintf("rec/%d-%d", g, i), Retries: 1, Backoff: noBackoff}, func(context.Context) error {
+					if first {
+						first = false
+						return faultinject.MarkTransient(errors.New("flaky"))
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("recover run: %v", err)
+				}
+			}
+			for i := 0; i < failRuns; i++ {
+				err := s.Run(ctx, Spec{Name: fmt.Sprintf("fail/%d-%d", g, i), Retries: 2, Backoff: noBackoff}, func(context.Context) error {
+					return errors.New("hard failure")
+				})
+				if err == nil {
+					t.Error("hard failure must surface")
+				}
+			}
+			for i := 0; i < panicRuns; i++ {
+				first := true
+				err := s.Run(ctx, Spec{Name: fmt.Sprintf("panic/%d-%d", g, i), Retries: 1, Backoff: noBackoff}, func(context.Context) error {
+					if first {
+						first = false
+						panic("boom")
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("panic-then-ok run: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Non-transient failures never retry, so Retried counts exactly one
+	// extra attempt per recovered and per panicking task.
+	want := Counts{
+		OK:        goroutines * okRuns,
+		Recovered: goroutines * (recRuns + panicRuns),
+		Retried:   goroutines * (recRuns + panicRuns),
+		Failed:    goroutines * failRuns,
+	}
+	if got := s.Counts(); got != want {
+		t.Fatalf("Counts = %+v, want %+v", got, want)
+	}
+	wantLine := fmt.Sprintf("supervise: tasks %d ok / %d recovered / %d retried / %d stuck-killed / %d failed",
+		want.OK, want.Recovered, want.Retried, want.StuckKilled, want.Failed)
+	if got := s.Summary(); got != wantLine {
+		t.Fatalf("Summary = %q, want %q", got, wantLine)
 	}
 }
